@@ -1,0 +1,88 @@
+"""Ablation: what should the RL control — per-map actions or per-layer
+ratios?
+
+HeadStart's distinguishing design choice versus AMC (the dominant prior
+RL pruning method) is the *granularity of the action*: AMC learns one
+compression ratio per layer and falls back to weight magnitude inside
+the layer; HeadStart learns the per-map keep decision itself.  This
+benchmark runs both agents on the same trained VGG at the same map
+budget (sp=2, no fine-tuning) and compares the resulting inceptions.
+
+Expected shape: at matched budgets HeadStart's inception accuracy is at
+least AMC-lite's — learning *which* maps survive beats learning only
+*how many* and delegating the choice to L1 magnitude.
+"""
+
+import numpy as np
+
+from conftest import calibration_of, clone, run_once
+from repro.analysis import ExperimentRecord, Table
+from repro.core import (AMCConfig, AMCLitePruner, HeadStartConfig,
+                        HeadStartPruner)
+from repro.training import evaluate
+
+SPEEDUP = 2.0
+
+
+def _experiment(original, task):
+    cal_images, cal_labels = calibration_of(task)
+    test_images, test_labels = task.test.images, task.test.labels
+
+    # HeadStart, whole model, no fine-tuning (pure inception quality).
+    headstart_model = clone(original)
+    headstart = HeadStartPruner(
+        headstart_model, task.train, None,
+        config=HeadStartConfig(speedup=SPEEDUP, max_iterations=30,
+                               min_iterations=15, patience=8,
+                               eval_batch=96, seed=0),
+        finetune_config=None).run()
+    headstart_accuracy = evaluate(headstart_model, test_images, test_labels)
+    headstart_kept = sum(log.maps_after for log in headstart.layers)
+
+    # AMC-lite at the same budget (same evaluation-count ballpark).
+    amc_model = clone(original)
+    agent = AMCLitePruner(amc_model, cal_images, cal_labels,
+                          AMCConfig(speedup=SPEEDUP, episodes=120,
+                                    eval_batch=96, seed=0))
+    amc_result = agent.run()
+    agent.apply(amc_result)
+    amc_accuracy = evaluate(amc_model, test_images, test_labels)
+
+    return {
+        "headstart": {"accuracy": headstart_accuracy,
+                      "kept_maps": headstart_kept},
+        "amc_lite": {"accuracy": amc_accuracy,
+                     "kept_maps": sum(amc_result.keep_counts),
+                     "best_calibration_accuracy": amc_result.best_accuracy},
+        "original": {"accuracy": evaluate(original, test_images,
+                                          test_labels)},
+    }
+
+
+def test_ablation_headstart_vs_amc(benchmark, cifar_vgg, cifar_task,
+                                   record_path):
+    results = run_once(benchmark, lambda: _experiment(cifar_vgg, cifar_task))
+
+    table = Table(["METHOD", "KEPT MAPS", "TEST ACC (%)"],
+                  title="Ablation: per-map RL (HeadStart) vs per-layer "
+                        "ratio RL (AMC-lite), sp=2, no fine-tuning")
+    table.add_row(["HEADSTART", results["headstart"]["kept_maps"],
+                   100 * results["headstart"]["accuracy"]])
+    table.add_row(["AMC-LITE", results["amc_lite"]["kept_maps"],
+                   100 * results["amc_lite"]["accuracy"]])
+    table.add_row(["ORIGINAL", "/", 100 * results["original"]["accuracy"]])
+    print("\n" + table.render())
+
+    record = ExperimentRecord(
+        "ablation_amc", "HeadStart vs AMC-lite action granularity",
+        parameters={"speedup": SPEEDUP},
+        results=results)
+    record.check("headstart_at_least_matches_amc",
+                 results["headstart"]["accuracy"] >=
+                 results["amc_lite"]["accuracy"] - 0.03)
+    budget = results["headstart"]["kept_maps"]
+    record.check("budgets_comparable",
+                 abs(results["amc_lite"]["kept_maps"] - budget)
+                 <= 0.35 * budget)
+    record.save(record_path / "ablation_amc.json")
+    assert record.all_checks_passed, record.shape_checks

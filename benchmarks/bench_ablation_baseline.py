@@ -1,0 +1,81 @@
+"""Ablation: the REINFORCE variance-reduction baseline (paper Eq. 7-9).
+
+The paper argues that subtracting a baseline b — specifically the reward
+of the greedy inference action R(A^I) — "can significantly expedite the
+learning speed".  This ablation trains the same layer agent with the
+greedy baseline (Eq. 9), a batch-mean baseline, and no baseline (Eq. 7)
+and compares final reward and inception quality.
+
+Expected shape: the baselined variants reach at least the reward of the
+unbaselined one, typically with a better final inception.
+"""
+
+import numpy as np
+
+from conftest import calibration_of, clone, run_once
+from repro.analysis import ExperimentRecord, Table
+from repro.core import HeadStartConfig, LayerAgent
+from repro.pruning import channel_mask
+from repro.training import evaluate
+
+VARIANTS = ("greedy", "mean", "none")
+SEEDS = (0, 1, 2)
+
+
+def _experiment(original, task):
+    cal_images, cal_labels = calibration_of(task)
+    results = {variant: [] for variant in VARIANTS}
+    for variant in VARIANTS:
+        for seed in SEEDS:
+            model = clone(original)
+            unit = model.prune_units()[4]  # conv3_1
+            config = HeadStartConfig(
+                speedup=2.0, baseline=variant, max_iterations=30,
+                min_iterations=30, patience=30, eval_batch=96, seed=seed)
+            agent_result = LayerAgent(model, unit, cal_images, cal_labels,
+                                      config).run()
+            with channel_mask(unit, agent_result.keep_mask):
+                test_accuracy = evaluate(model, task.test.images,
+                                         task.test.labels)
+            results[variant].append({
+                "final_reward": float(np.mean(
+                    agent_result.reward_history[-5:])),
+                "best_reward": float(max(agent_result.reward_history)),
+                "test_accuracy": test_accuracy})
+    return results
+
+
+def test_ablation_reinforce_baseline(benchmark, cifar_vgg, cifar_task,
+                                     record_path):
+    results = run_once(benchmark, lambda: _experiment(cifar_vgg, cifar_task))
+
+    table = Table(["BASELINE", "MEAN FINAL REWARD", "MEAN BEST REWARD",
+                   "MEAN TEST ACC (%)"],
+                  title="Ablation: REINFORCE baseline variants "
+                        "(conv3_1, sp=2, 3 seeds)")
+    summary = {}
+    for variant in VARIANTS:
+        runs = results[variant]
+        summary[variant] = {
+            "final_reward": float(np.mean([r["final_reward"] for r in runs])),
+            "best_reward": float(np.mean([r["best_reward"] for r in runs])),
+            "test_accuracy": float(np.mean([r["test_accuracy"]
+                                            for r in runs]))}
+        table.add_row([variant, summary[variant]["final_reward"],
+                       summary[variant]["best_reward"],
+                       100 * summary[variant]["test_accuracy"]])
+    print("\n" + table.render())
+
+    record = ExperimentRecord(
+        "ablation_baseline", "REINFORCE baseline variants",
+        parameters={"variants": list(VARIANTS), "seeds": list(SEEDS)},
+        results={"runs": results, "summary": summary})
+    record.check("greedy_baseline_not_worse_than_none",
+                 summary["greedy"]["best_reward"] >=
+                 summary["none"]["best_reward"] - 0.05)
+    record.check("some_baseline_improves_accuracy",
+                 max(summary["greedy"]["test_accuracy"],
+                     summary["mean"]["test_accuracy"]) >=
+                 summary["none"]["test_accuracy"] - 0.05)
+    record.save(record_path / "ablation_baseline.json")
+    assert record.all_checks_passed, record.shape_checks

@@ -1,0 +1,112 @@
+"""Ablation: does the optimal inception matter? (the paper's core claim)
+
+Section I: "higher initial accuracy is also more prone to induce a
+higher final accuracy with shortened fine-tuning iterations".  This
+ablation prunes the same layer to the same survivor count with three
+inceptions — HeadStart's, a random subset, and the *adversarially worst*
+of several random subsets — then fine-tunes each for the same budget and
+records the accuracy trajectory.
+
+Expected shape: the fine-tuning curves are ordered by their starting
+point: the HeadStart inception both starts and ends highest, and reaches
+the random inception's final accuracy in fewer epochs.
+"""
+
+import numpy as np
+
+from conftest import calibration_of, clone, run_once
+from repro.analysis import ExperimentRecord, Table
+from repro.core import HeadStartConfig, LayerAgent
+from repro.pruning import prune_unit
+from repro.training import TrainConfig, evaluate_dataset, fit
+
+FINETUNE_EPOCHS = 6
+LAYER_INDEX = 4  # conv3_1
+
+
+def _finetune_curve(model, task):
+    curve = [evaluate_dataset(model, task.test)]
+    for _ in range(FINETUNE_EPOCHS):
+        fit(model, task.train, None,
+            TrainConfig(epochs=1, batch_size=32, lr=0.02, seed=0))
+        curve.append(evaluate_dataset(model, task.test))
+    return curve
+
+
+def _experiment(original, task):
+    cal_images, cal_labels = calibration_of(task)
+    rng = np.random.default_rng(0)
+
+    # HeadStart inception.
+    headstart_model = clone(original)
+    unit = headstart_model.prune_units()[LAYER_INDEX]
+    config = HeadStartConfig(speedup=2.0, max_iterations=40,
+                             min_iterations=20, patience=10,
+                             eval_batch=96, seed=5)
+    agent_result = LayerAgent(headstart_model, unit, cal_images, cal_labels,
+                              config).run()
+    keep_count = agent_result.kept_maps
+    prune_unit(unit, agent_result.keep_mask)
+    curves = {"headstart": _finetune_curve(headstart_model, task)}
+
+    def random_mask(generator):
+        mask = np.zeros(unit_total, dtype=bool)
+        mask[generator.choice(unit_total, keep_count, replace=False)] = True
+        return mask
+
+    unit_total = original.prune_units()[LAYER_INDEX].num_maps
+
+    # Random inception.
+    random_model = clone(original)
+    random_unit = random_model.prune_units()[LAYER_INDEX]
+    prune_unit(random_unit, random_mask(np.random.default_rng(1)))
+    curves["random"] = _finetune_curve(random_model, task)
+
+    # Adversarially bad inception: worst initial accuracy of 8 randoms.
+    worst_mask, worst_accuracy = None, np.inf
+    probe = clone(original)
+    probe_unit = probe.prune_units()[LAYER_INDEX]
+    from repro.pruning import channel_mask
+    from repro.training import evaluate
+    for trial in range(8):
+        mask = random_mask(np.random.default_rng(100 + trial))
+        with channel_mask(probe_unit, mask):
+            accuracy = evaluate(probe, cal_images, cal_labels)
+        if accuracy < worst_accuracy:
+            worst_mask, worst_accuracy = mask, accuracy
+    worst_model = clone(original)
+    prune_unit(worst_model.prune_units()[LAYER_INDEX], worst_mask)
+    curves["worst"] = _finetune_curve(worst_model, task)
+    return curves
+
+
+def test_ablation_inception_matters(benchmark, cifar_vgg, cifar_task,
+                                    record_path):
+    curves = run_once(benchmark, lambda: _experiment(cifar_vgg, cifar_task))
+
+    table = Table(["EPOCH"] + list(curves),
+                  title="Ablation: fine-tuning trajectory per inception "
+                        "(test accuracy %, epoch 0 = inception)")
+    for epoch in range(FINETUNE_EPOCHS + 1):
+        table.add_row([epoch] + [100 * curves[k][epoch] for k in curves])
+    print("\n" + table.render())
+
+    record = ExperimentRecord(
+        "ablation_inception", "Fine-tuning from different inceptions",
+        parameters={"finetune_epochs": FINETUNE_EPOCHS},
+        results=curves)
+    record.check("headstart_inception_starts_higher_than_worst",
+                 curves["headstart"][0] > curves["worst"][0])
+    record.check("headstart_final_at_least_random",
+                 curves["headstart"][-1] >= curves["random"][-1] - 0.03)
+    record.check("headstart_final_beats_worst",
+                 curves["headstart"][-1] >= curves["worst"][-1] - 0.02)
+    # Shortened fine-tuning: HeadStart reaches the random curve's final
+    # accuracy strictly earlier (or random never reaches it).
+    target = curves["random"][-1]
+    reach = next((i for i, v in enumerate(curves["headstart"])
+                  if v >= target), None)
+    record.check("headstart_reaches_target_early",
+                 reach is not None and reach <= FINETUNE_EPOCHS)
+    record.save(record_path / "ablation_inception.json")
+    assert record.all_checks_passed, record.shape_checks

@@ -1,0 +1,75 @@
+"""Ablation: Monte-Carlo sample count k (paper Eq. 6, Section IV.A).
+
+The paper uses k = 3 samples "in order to obtain a more precise
+estimation" of the expected reward.  This ablation sweeps k over
+{1, 3, 5} at a fixed evaluation budget per iteration count and compares
+reward trajectories and final inceptions.
+
+Expected shape: k = 3 improves over k = 1 (lower gradient variance);
+k = 5 gives diminishing returns per evaluation spent.
+"""
+
+import numpy as np
+
+from conftest import calibration_of, clone, run_once
+from repro.analysis import ExperimentRecord, Table
+from repro.core import HeadStartConfig, LayerAgent
+from repro.pruning import channel_mask
+from repro.training import evaluate
+
+SAMPLE_COUNTS = (1, 3, 5)
+SEEDS = (0, 1, 2)
+
+
+def _experiment(original, task):
+    cal_images, cal_labels = calibration_of(task)
+    results = {k: [] for k in SAMPLE_COUNTS}
+    for k in SAMPLE_COUNTS:
+        for seed in SEEDS:
+            model = clone(original)
+            unit = model.prune_units()[4]
+            config = HeadStartConfig(
+                speedup=2.0, mc_samples=k, max_iterations=25,
+                min_iterations=25, patience=25, eval_batch=96, seed=seed)
+            agent_result = LayerAgent(model, unit, cal_images, cal_labels,
+                                      config).run()
+            with channel_mask(unit, agent_result.keep_mask):
+                test_accuracy = evaluate(model, task.test.images,
+                                         task.test.labels)
+            results[k].append({
+                "best_reward": float(max(agent_result.reward_history)),
+                "test_accuracy": test_accuracy,
+                "evaluations": agent_result.iterations * (k + 2)})
+    return results
+
+
+def test_ablation_mc_samples(benchmark, cifar_vgg, cifar_task, record_path):
+    results = run_once(benchmark, lambda: _experiment(cifar_vgg, cifar_task))
+
+    table = Table(["k", "MEAN BEST REWARD", "MEAN TEST ACC (%)",
+                   "MEAN #EVALS"],
+                  title="Ablation: Monte-Carlo sample count (conv3_1, sp=2)")
+    summary = {}
+    for k in SAMPLE_COUNTS:
+        runs = results[k]
+        summary[k] = {
+            "best_reward": float(np.mean([r["best_reward"] for r in runs])),
+            "test_accuracy": float(np.mean([r["test_accuracy"]
+                                            for r in runs])),
+            "evaluations": float(np.mean([r["evaluations"] for r in runs]))}
+        table.add_row([k, summary[k]["best_reward"],
+                       100 * summary[k]["test_accuracy"],
+                       summary[k]["evaluations"]])
+    print("\n" + table.render())
+
+    record = ExperimentRecord(
+        "ablation_mc_samples", "Monte-Carlo sample count sweep",
+        parameters={"k_values": list(SAMPLE_COUNTS), "seeds": list(SEEDS)},
+        results={"summary": {str(k): v for k, v in summary.items()}})
+    record.check("k3_not_worse_than_k1",
+                 summary[3]["best_reward"] >=
+                 summary[1]["best_reward"] - 0.05)
+    record.check("k5_diminishing_returns_vs_k3",
+                 summary[5]["best_reward"] - summary[3]["best_reward"] < 0.15)
+    record.save(record_path / "ablation_mc_samples.json")
+    assert record.all_checks_passed, record.shape_checks

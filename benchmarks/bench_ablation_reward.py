@@ -1,0 +1,82 @@
+"""Ablation: reward composition R(A) = ACC - SPD (paper Eq. 2-4).
+
+The paper's reward "is designed to optimize the tradeoff between speedup
+and accuracy at the same time".  This ablation disables each term:
+
+* ACC-only (spd_weight = 0): nothing anchors the survivor count to the
+  budget, so the learnt sparsity drifts away from C/sp (upward — keeping
+  more maps is free accuracy).
+* SPD-only (acc_weight = 0): sparsity is on target but the choice of
+  *which* maps survive is unguided, so inception accuracy falls to
+  roughly random-subset level.
+* Full reward: on-budget sparsity and informed selection.
+"""
+
+import numpy as np
+
+from conftest import calibration_of, clone, run_once
+from repro.analysis import ExperimentRecord, Table
+from repro.core import HeadStartConfig, LayerAgent
+from repro.pruning import channel_mask
+from repro.training import evaluate
+
+VARIANTS = {
+    "full": dict(acc_weight=1.0, spd_weight=1.0),
+    "acc_only": dict(acc_weight=1.0, spd_weight=0.0),
+    "spd_only": dict(acc_weight=0.0, spd_weight=1.0),
+}
+SPEEDUP = 2.0
+
+
+def _experiment(original, task):
+    cal_images, cal_labels = calibration_of(task)
+    results = {}
+    for name, weights in VARIANTS.items():
+        model = clone(original)
+        unit = model.prune_units()[4]
+        config = HeadStartConfig(
+            speedup=SPEEDUP, max_iterations=30, min_iterations=30,
+            patience=30, eval_batch=96, seed=3, **weights)
+        agent_result = LayerAgent(model, unit, cal_images, cal_labels,
+                                  config).run()
+        with channel_mask(unit, agent_result.keep_mask):
+            test_accuracy = evaluate(model, task.test.images,
+                                     task.test.labels)
+        results[name] = {
+            "kept_maps": agent_result.kept_maps,
+            "total_maps": unit.num_maps,
+            "learnt_speedup": unit.num_maps / agent_result.kept_maps,
+            "test_accuracy": test_accuracy}
+    return results
+
+
+def test_ablation_reward_composition(benchmark, cifar_vgg, cifar_task,
+                                     record_path):
+    results = run_once(benchmark, lambda: _experiment(cifar_vgg, cifar_task))
+
+    table = Table(["REWARD", "KEPT MAPS", "LEARNT SPEEDUP",
+                   "TEST ACC (%)"],
+                  title=f"Ablation: reward composition (conv3_1, target "
+                        f"sp={SPEEDUP})")
+    for name, row in results.items():
+        table.add_row([name, f"{row['kept_maps']}/{row['total_maps']}",
+                       f"{row['learnt_speedup']:.2f}",
+                       100 * row["test_accuracy"]])
+    print("\n" + table.render())
+
+    record = ExperimentRecord(
+        "ablation_reward", "Reward term ablation (ACC / SPD / full)",
+        parameters={"speedup": SPEEDUP},
+        results=results)
+    record.check("full_reward_on_budget",
+                 abs(results["full"]["learnt_speedup"] - SPEEDUP) < 0.8)
+    record.check("acc_only_drifts_off_budget_or_keeps_more",
+                 results["acc_only"]["kept_maps"] >=
+                 results["full"]["kept_maps"])
+    record.check("spd_only_on_budget",
+                 abs(results["spd_only"]["learnt_speedup"] - SPEEDUP) < 0.8)
+    record.check("full_beats_spd_only_accuracy",
+                 results["full"]["test_accuracy"] >
+                 results["spd_only"]["test_accuracy"] - 0.02)
+    record.save(record_path / "ablation_reward.json")
+    assert record.all_checks_passed, record.shape_checks

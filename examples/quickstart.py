@@ -1,0 +1,74 @@
+"""Quickstart: train a miniature VGG-16, let HeadStart find one layer's
+optimal inception, and compare it against metric baselines.
+
+Runs in about a minute on a single CPU core.
+
+    python examples/quickstart.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import HeadStartConfig, LayerAgent, TrainConfig, evaluate, fit
+from repro.analysis import Table
+from repro.data import make_cifar100_like
+from repro.models import vgg16
+from repro.pruning import channel_mask
+from repro.pruning.baselines import PruningContext, build_pruner
+
+
+def main():
+    # 1. A synthetic CIFAR-100 stand-in (miniature geometry for CPU).
+    task = make_cifar100_like(num_classes=10, image_size=16,
+                              train_per_class=20, test_per_class=10,
+                              noise=0.5, seed=1)
+
+    # 2. Train a narrow VGG-16 to convergence-ish.
+    model = vgg16(num_classes=10, input_size=16, width_multiplier=0.25,
+                  rng=np.random.default_rng(0))
+    print("training VGG-16 (width x0.25) on synthetic CIFAR-100 ...")
+    fit(model, task.train, None,
+        TrainConfig(epochs=8, batch_size=32, lr=0.05, seed=0))
+    test_images, test_labels = task.test.images, task.test.labels
+    baseline_accuracy = evaluate(model, test_images, test_labels)
+    print(f"trained test accuracy: {baseline_accuracy:.3f}\n")
+
+    # 3. HeadStart: learn the optimal inception of conv3_1 at sp=2.
+    unit = model.prune_units()[4]  # conv3_1
+    calibration_images = task.train.images[:96]
+    calibration_labels = task.train.labels[:96]
+    config = HeadStartConfig(speedup=2.0, max_iterations=60,
+                             min_iterations=30, patience=12,
+                             eval_batch=96, seed=5)
+    print(f"training head-start network for {unit.name} "
+          f"({unit.num_maps} maps, sp={config.speedup}) ...")
+    started = time.time()
+    agent = LayerAgent(model, unit, calibration_images, calibration_labels,
+                       config)
+    result = agent.run()
+    print(f"converged after {result.iterations} iterations "
+          f"({time.time() - started:.0f}s); kept {result.kept_maps} maps\n")
+
+    # 4. Compare the inception against metric baselines at the same budget.
+    table = Table(["METHOD", "#MAPS KEPT", "ACC. (%, INC)"],
+                  title=f"Single-layer pruning of {unit.name} "
+                        f"without fine-tuning")
+    with channel_mask(unit, result.keep_mask):
+        headstart_accuracy = evaluate(model, test_images, test_labels)
+    table.add_row(["HEADSTART", result.kept_maps, 100 * headstart_accuracy])
+
+    context = PruningContext(calibration_images, calibration_labels,
+                             np.random.default_rng(0))
+    for name in ("li17", "apoz", "random"):
+        mask = build_pruner(name).select(model, unit, result.kept_maps,
+                                         context)
+        with channel_mask(unit, mask):
+            accuracy = evaluate(model, test_images, test_labels)
+        table.add_row([name.upper(), int(mask.sum()), 100 * accuracy])
+    table.add_row(["ORIGINAL", unit.num_maps, 100 * baseline_accuracy])
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""HeadStart on semantic segmentation — the paper's future-work claim.
+
+The conclusion of the paper proposes "applying the same concept over
+other computer vision tasks, such as object detection or semantic
+segmentation".  This example prunes a small fully-convolutional
+segmentation network with the unchanged HeadStart machinery: the reward
+simply reads *pixel* accuracy instead of image accuracy.
+
+    python examples/segmentation_pruning.py
+"""
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.core import HeadStartConfig, LayerAgent
+from repro.data import ArrayDataset, make_segmentation_task
+from repro.models import segnet
+from repro.pruning import channel_mask, profile_model, prune_unit
+from repro.pruning.baselines import Li17Pruner, PruningContext
+from repro.training import TrainConfig, evaluate, fit
+
+
+def main():
+    task = make_segmentation_task(num_classes=4, image_size=16,
+                                  train_images=80, test_images=32, seed=0)
+    train_set = ArrayDataset(task.train_images, task.train_labels)
+
+    print("training the segmentation network ...")
+    model = segnet(num_classes=5, rng=np.random.default_rng(0))
+    fit(model, train_set, None,
+        TrainConfig(epochs=8, batch_size=16, lr=0.05, seed=0))
+    baseline = evaluate(model, task.test_images, task.test_labels)
+    background = float((task.test_labels == 0).mean())
+    print(f"pixel accuracy: {baseline:.3f} "
+          f"(predict-background floor: {background:.3f})\n")
+
+    # HeadStart on the middle encoder convolution, sp=2.
+    unit = model.prune_units()[1]
+    config = HeadStartConfig(speedup=2.0, max_iterations=40,
+                             min_iterations=20, patience=10,
+                             eval_batch=48, seed=3)
+    print(f"learning the inception of {unit.name} "
+          f"({unit.num_maps} maps, sp=2) ...")
+    agent = LayerAgent(model, unit, task.train_images, task.train_labels,
+                       config)
+    result = agent.run()
+
+    table = Table(["METHOD", "#MAPS KEPT", "PIXEL ACC (%)"],
+                  title="Single-layer pruning of the segmentation encoder")
+    with channel_mask(unit, result.keep_mask):
+        headstart = evaluate(model, task.test_images, task.test_labels)
+    table.add_row(["HEADSTART", result.kept_maps, 100 * headstart])
+    context = PruningContext(task.train_images, task.train_labels,
+                             np.random.default_rng(0))
+    li_mask = Li17Pruner().select(model, unit, result.kept_maps, context)
+    with channel_mask(unit, li_mask):
+        li17 = evaluate(model, task.test_images, task.test_labels)
+    table.add_row(["LI'17", int(li_mask.sum()), 100 * li17])
+    table.add_row(["ORIGINAL", unit.num_maps, 100 * baseline])
+    print(table.render(), "\n")
+
+    # Physically apply and fine-tune briefly.
+    before = profile_model(model, (3, 16, 16))
+    prune_unit(unit, result.keep_mask)
+    fit(model, train_set, None,
+        TrainConfig(epochs=3, batch_size=16, lr=0.02, seed=0))
+    after = profile_model(model, (3, 16, 16))
+    final = evaluate(model, task.test_images, task.test_labels)
+    print(f"after surgery + fine-tune: pixel accuracy {final:.3f}, "
+          f"FLOPs {before.flops / 1e6:.2f}M -> {after.flops / 1e6:.2f}M")
+
+
+if __name__ == "__main__":
+    main()

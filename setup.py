@@ -1,0 +1,10 @@
+"""Legacy setup shim so ``pip install -e .`` works without network access.
+
+All project metadata lives in pyproject.toml; this file only enables the
+legacy (non-PEP-517) editable install path on environments whose
+setuptools predates wheel-based editable builds.
+"""
+
+from setuptools import setup
+
+setup()

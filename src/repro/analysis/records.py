@@ -1,0 +1,87 @@
+"""Experiment records: structured, serialisable results.
+
+Each benchmark emits an :class:`ExperimentRecord` naming the paper
+artefact it reproduces, so EXPERIMENTS.md can be regenerated from saved
+runs and the shape checks (who wins, by what factor) are explicit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ExperimentRecord"]
+
+
+@dataclass
+class ExperimentRecord:
+    """One reproduced table or figure.
+
+    Attributes
+    ----------
+    experiment:
+        Paper artefact id, e.g. ``"table2"`` or ``"figure3"``.
+    description:
+        What the artefact shows.
+    parameters:
+        The workload/sweep parameters the run used.
+    results:
+        Arbitrary JSON-serialisable result payload (rows, series, ...).
+    shape_checks:
+        Named boolean outcomes of the qualitative expectations
+        ("headstart beats li17", "speedup within band", ...).
+    """
+
+    experiment: str
+    description: str
+    parameters: dict = field(default_factory=dict)
+    results: dict = field(default_factory=dict)
+    shape_checks: dict[str, bool] = field(default_factory=dict)
+
+    def check(self, name: str, passed: bool) -> bool:
+        """Record a named qualitative check; returns ``passed``."""
+        self.shape_checks[name] = bool(passed)
+        return passed
+
+    @property
+    def all_checks_passed(self) -> bool:
+        return all(self.shape_checks.values()) if self.shape_checks else True
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "experiment": self.experiment,
+            "description": self.description,
+            "parameters": self.parameters,
+            "results": self.results,
+            "shape_checks": self.shape_checks,
+        }, indent=2, default=_coerce)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the record as JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentRecord":
+        """Read a record saved by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        return cls(experiment=payload["experiment"],
+                   description=payload["description"],
+                   parameters=payload.get("parameters", {}),
+                   results=payload.get("results", {}),
+                   shape_checks=payload.get("shape_checks", {}))
+
+
+def _coerce(value):
+    """JSON fallback for numpy scalars/arrays."""
+    import numpy as np
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serialisable: {type(value).__name__}")

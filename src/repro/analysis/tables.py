@@ -1,0 +1,76 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints each reproduced table/figure as an aligned
+text table (and optionally markdown) so runs can be compared directly
+against the paper's rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["Table"]
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "/"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+class Table:
+    """A small column-aligned table builder.
+
+    >>> t = Table(["MODEL", "ACC. (%)"])
+    >>> t.add_row(["VGG-16", 77.39])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = ""):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable) -> None:
+        """Append one row; values are formatted immediately."""
+        row = [_format_cell(v) for v in values]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns")
+        self.rows.append(row)
+
+    def _widths(self) -> list[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Aligned plain-text rendering."""
+        widths = self._widths()
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering."""
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**\n")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

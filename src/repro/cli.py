@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the experiment lifecycle on synthetic tasks:
+
+* ``train``   — train a registered model on a synthetic task and save a
+  checkpoint;
+* ``prune``   — HeadStart-prune a trained checkpoint (layer-wise, or
+  block-wise for ResNets) and save the pruned weights;
+* ``profile`` — per-layer parameter/FLOP table of a model;
+* ``fps``     — estimated frames-per-second on the modelled devices.
+
+Every command is deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis import Table
+from .core import (BlockHeadStart, FinetuneConfig, HeadStartConfig,
+                   HeadStartPruner)
+from .data import make_cifar100_like, make_cub200_like
+from .analysis.report import write_experiments_markdown
+from .gpusim import (available_devices, estimate_energy, estimate_fps,
+                     get_device)
+from .models import ResNet, available_models, build_model
+from .pruning import profile_model
+from .training import TrainConfig, evaluate_dataset, fit
+from .utils import save_checkpoint, load_checkpoint
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_task_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=("cifar", "cub"), default="cifar",
+                        help="synthetic task family (CIFAR- or CUB-like)")
+    parser.add_argument("--classes", type=int, default=10)
+    parser.add_argument("--image-size", type=int, default=16)
+    parser.add_argument("--train-per-class", type=int, default=20)
+    parser.add_argument("--test-per-class", type=int, default=10)
+    parser.add_argument("--data-seed", type=int, default=1)
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", choices=available_models(),
+                        default="vgg16")
+    parser.add_argument("--width", type=float, default=0.25,
+                        help="width multiplier")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _make_task(args):
+    maker = make_cifar100_like if args.dataset == "cifar" else make_cub200_like
+    return maker(num_classes=args.classes, image_size=args.image_size,
+                 train_per_class=args.train_per_class,
+                 test_per_class=args.test_per_class, seed=args.data_seed)
+
+
+def _make_model(args):
+    return build_model(args.model, num_classes=args.classes,
+                       input_size=args.image_size,
+                       width_multiplier=args.width,
+                       rng=np.random.default_rng(args.seed))
+
+
+def _cmd_train(args) -> int:
+    task = _make_task(args)
+    model = _make_model(args)
+    history = fit(model, task.train, task.test,
+                  TrainConfig(epochs=args.epochs, batch_size=args.batch_size,
+                              lr=args.lr, seed=args.seed))
+    print(f"final test accuracy: {history.final_test_accuracy:.4f}")
+    if args.out:
+        path = save_checkpoint(model, args.out)
+        print(f"checkpoint written to {path}")
+    return 0
+
+
+def _cmd_prune(args) -> int:
+    task = _make_task(args)
+    model = _make_model(args)
+    if args.checkpoint:
+        load_checkpoint(model, args.checkpoint)
+    else:
+        print("no checkpoint given; training the model first", file=sys.stderr)
+        fit(model, task.train, None,
+            TrainConfig(epochs=args.epochs, batch_size=args.batch_size,
+                        lr=args.lr, seed=args.seed))
+
+    config = HeadStartConfig(speedup=args.speedup,
+                             max_iterations=args.iterations,
+                             min_iterations=max(4, args.iterations // 2),
+                             patience=max(4, args.iterations // 4),
+                             eval_batch=args.eval_batch, seed=args.seed)
+    if args.mode == "block":
+        if not isinstance(model, ResNet):
+            print("block mode requires a ResNet", file=sys.stderr)
+            return 2
+        agent = BlockHeadStart(model, task.train.images, task.train.labels,
+                               config)
+        result = agent.run()
+        model = agent.apply(result)
+        print(f"learnt block pattern: {model.blocks_per_group} "
+              f"(inception accuracy {result.inception_accuracy:.4f})")
+        fit(model, task.train, None,
+            TrainConfig(epochs=args.finetune_epochs, batch_size=args.batch_size,
+                        lr=args.lr / 2, seed=args.seed))
+    else:
+        pruner = HeadStartPruner(
+            model, task.train, task.test, config=config,
+            finetune_config=FinetuneConfig(epochs=args.finetune_epochs,
+                                           batch_size=args.batch_size,
+                                           lr=args.lr / 2, seed=args.seed))
+        result = pruner.run()
+        table = Table(["LAYER", "#MAPS", "#AFTER", "INC. ACC", "FT ACC"])
+        for log in result.layers:
+            table.add_row([log.name, log.maps_before, log.maps_after,
+                           log.inception_accuracy, log.finetuned_accuracy])
+        print(table.render())
+    accuracy = evaluate_dataset(model, task.test)
+    stats = profile_model(model, (3, args.image_size, args.image_size))
+    print(f"pruned accuracy: {accuracy:.4f}  "
+          f"params: {stats.params_m:.3f}M  flops: {stats.flops / 1e6:.2f}M")
+    if args.out:
+        path = save_checkpoint(model, args.out)
+        print(f"pruned checkpoint written to {path}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    model = _make_model(args)
+    stats = profile_model(model, (3, args.image_size, args.image_size))
+    table = Table(["LAYER", "KIND", "OUT SHAPE", "PARAMS", "FLOPS"],
+                  title=f"{args.model} @ {args.image_size}px")
+    for layer in stats.layers:
+        table.add_row([layer.name, layer.kind, str(layer.output_shape),
+                       layer.params, layer.flops])
+    print(table.render())
+    print(f"total: {stats.params_m:.3f}M params, {stats.flops_b:.4f}B flops")
+    return 0
+
+
+def _cmd_fps(args) -> int:
+    model = _make_model(args)
+    shape = (3, args.image_size, args.image_size)
+    stats = profile_model(model, shape)
+    table = Table(["DEVICE", "FPS", "J/IMAGE"],
+                  title=f"{args.model} @ {args.image_size}px, batch "
+                        f"{args.batch_size}")
+    devices = [args.device] if args.device else available_devices()
+    for name in devices:
+        device = get_device(name)
+        energy = estimate_energy(stats, shape, device,
+                                 batch_size=args.batch_size)
+        table.add_row([device.name,
+                       estimate_fps(stats, shape, device,
+                                    batch_size=args.batch_size),
+                       energy.joules_per_image])
+    print(table.render())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    path = write_experiments_markdown(args.results, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HeadStart reproduction toolbox")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    train = commands.add_parser("train", help="train a model")
+    _add_task_arguments(train)
+    _add_model_arguments(train)
+    train.add_argument("--epochs", type=int, default=8)
+    train.add_argument("--batch-size", type=int, default=32)
+    train.add_argument("--lr", type=float, default=0.05)
+    train.add_argument("--out", default=None, help="checkpoint path")
+    train.set_defaults(handler=_cmd_train)
+
+    prune = commands.add_parser("prune", help="HeadStart-prune a model")
+    _add_task_arguments(prune)
+    _add_model_arguments(prune)
+    prune.add_argument("--checkpoint", default=None)
+    prune.add_argument("--mode", choices=("layer", "block"), default="layer")
+    prune.add_argument("--speedup", type=float, default=2.0)
+    prune.add_argument("--iterations", type=int, default=30)
+    prune.add_argument("--eval-batch", type=int, default=96)
+    prune.add_argument("--epochs", type=int, default=8,
+                       help="pre-training epochs when no checkpoint")
+    prune.add_argument("--finetune-epochs", type=int, default=2)
+    prune.add_argument("--batch-size", type=int, default=32)
+    prune.add_argument("--lr", type=float, default=0.05)
+    prune.add_argument("--out", default=None)
+    prune.set_defaults(handler=_cmd_prune)
+
+    profile = commands.add_parser("profile", help="per-layer params/FLOPs")
+    _add_model_arguments(profile)
+    profile.add_argument("--classes", type=int, default=10)
+    profile.add_argument("--image-size", type=int, default=32)
+    profile.set_defaults(handler=_cmd_profile)
+
+    fps = commands.add_parser("fps", help="estimated fps per device")
+    _add_model_arguments(fps)
+    fps.add_argument("--classes", type=int, default=100)
+    fps.add_argument("--image-size", type=int, default=32)
+    fps.add_argument("--batch-size", type=int, default=1)
+    fps.add_argument("--device", choices=available_devices(), default=None)
+    fps.set_defaults(handler=_cmd_fps)
+
+    report = commands.add_parser(
+        "report", help="regenerate EXPERIMENTS.md from benchmark records")
+    report.add_argument("--results", default="benchmarks/results")
+    report.add_argument("--out", default="EXPERIMENTS.md")
+    report.set_defaults(handler=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)

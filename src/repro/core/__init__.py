@@ -1,0 +1,29 @@
+"""``repro.core`` — the HeadStart reinforcement-learning pruner."""
+
+from .agent import AgentResult, LayerAgent
+from .amc import AMCConfig, AMCLitePruner, AMCResult
+from .blocks import BlockAgentResult, BlockHeadStart, bypass_blocks
+from .config import HeadStartConfig
+from .distill import DistillConfig, distill_finetune, distillation_loss
+from .finetune import FinetuneConfig, finetune
+from .policy import (HeadStartNetwork, bernoulli_log_prob, sample_actions,
+                     threshold_action)
+from .pruner import HeadStartPruner, HeadStartResult, LayerLog
+from .reinforce import ReinforceDriver, ReinforceOutcome
+from .reward import acc_term, reward, spd_term
+from .scratch import resnet_like_pruned, vgg_like_pruned
+
+__all__ = [
+    "HeadStartConfig",
+    "HeadStartNetwork", "sample_actions", "threshold_action",
+    "bernoulli_log_prob",
+    "acc_term", "spd_term", "reward",
+    "LayerAgent", "AgentResult",
+    "AMCConfig", "AMCLitePruner", "AMCResult",
+    "HeadStartPruner", "HeadStartResult", "LayerLog",
+    "ReinforceDriver", "ReinforceOutcome",
+    "BlockHeadStart", "BlockAgentResult", "bypass_blocks",
+    "FinetuneConfig", "finetune",
+    "DistillConfig", "distillation_loss", "distill_finetune",
+    "vgg_like_pruned", "resnet_like_pruned",
+]

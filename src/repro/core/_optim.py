@@ -1,0 +1,15 @@
+"""Internal: build the policy optimiser from a HeadStart config."""
+
+from __future__ import annotations
+
+from ..nn.modules import Module
+from ..nn.optim import SGD, Optimizer, RMSprop
+from .config import HeadStartConfig
+
+
+def _policy_optimizer(policy: Module, config: HeadStartConfig) -> Optimizer:
+    if config.optimizer == "rmsprop":
+        return RMSprop(policy.parameters(), lr=config.lr,
+                       weight_decay=config.weight_decay)
+    return SGD(policy.parameters(), lr=config.lr,
+               weight_decay=config.weight_decay)

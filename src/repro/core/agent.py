@@ -1,0 +1,118 @@
+"""Per-layer HeadStart agent — paper Sections III.B/III.C.
+
+For one prunable unit, the agent trains a head-start network with the
+shared REINFORCE driver (:mod:`repro.core.reinforce`): actions are
+per-feature-map keep decisions, the reward is ``R(A) = ACC - SPD``
+(Eq. 2-4) measured by masking the unit and evaluating a calibration
+batch, and the returned inception is the best candidate re-scored on the
+full calibration set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.modules import Module
+from ..pruning.surgery import channel_mask
+from ..pruning.units import ConvUnit
+from ..training import evaluate
+from .config import HeadStartConfig
+from .policy import HeadStartNetwork
+from .reinforce import ReinforceDriver
+from .reward import reward as compute_reward
+
+__all__ = ["AgentResult", "LayerAgent"]
+
+
+@dataclass
+class AgentResult:
+    """Outcome of training one layer's head-start network.
+
+    ``keep_mask`` is the learnt inception; the histories expose the
+    RL dynamics for the ablation benchmarks.
+    """
+
+    keep_mask: np.ndarray
+    probabilities: np.ndarray
+    iterations: int
+    reward_history: list[float] = field(default_factory=list)
+    loss_history: list[float] = field(default_factory=list)
+    inception_accuracy: float = float("nan")
+
+    @property
+    def kept_maps(self) -> int:
+        return int(np.count_nonzero(self.keep_mask))
+
+
+class LayerAgent:
+    """Trains a head-start network to find one layer's optimal inception.
+
+    Parameters
+    ----------
+    model:
+        The (possibly partially pruned) model being compressed.
+    unit:
+        The prunable unit this agent controls.
+    images / labels:
+        Calibration data for reward evaluation.  The per-iteration batch
+        is capped at ``config.eval_batch``; the full set re-scores
+        finalist actions so a lucky small-batch action is not selected.
+    config:
+        HeadStart hyper-parameters.
+    """
+
+    def __init__(self, model: Module, unit: ConvUnit,
+                 images: np.ndarray, labels: np.ndarray,
+                 config: HeadStartConfig = HeadStartConfig()):
+        self.model = model
+        self.unit = unit
+        self.config = config
+        batch = min(config.eval_batch, len(images))
+        self.images = images[:batch]
+        self.labels = labels[:batch]
+        self.full_images = images
+        self.full_labels = labels
+        self.rng = np.random.default_rng(config.seed)
+        self.policy = HeadStartNetwork(unit.num_maps,
+                                       noise_size=config.noise_size,
+                                       hidden_channels=config.hidden_channels,
+                                       keep_ratio=1.0 / config.speedup,
+                                       rng=self.rng)
+
+    # -- reward plumbing ----------------------------------------------------
+    def _masked_accuracy(self, action: np.ndarray,
+                         full: bool = False) -> float:
+        images = self.full_images if full else self.images
+        labels = self.full_labels if full else self.labels
+        with channel_mask(self.unit, action.astype(bool)):
+            return evaluate(self.model, images, labels)
+
+    def _reward(self, action: np.ndarray, original_accuracy: float,
+                full: bool = False) -> float:
+        accuracy = self._masked_accuracy(action, full=full)
+        return compute_reward(accuracy, original_accuracy, action,
+                              self.config.speedup,
+                              acc_weight=self.config.acc_weight,
+                              spd_weight=self.config.spd_weight)
+
+    # -- main loop -----------------------------------------------------------
+    def run(self) -> AgentResult:
+        """Train the policy until the reward stabilises; return the inception."""
+        original_accuracy = evaluate(self.model, self.images, self.labels)
+        driver = ReinforceDriver(
+            self.policy,
+            reward_fn=lambda action: self._reward(action, original_accuracy),
+            config=self.config, rng=self.rng,
+            final_reward_fn=lambda action: self._reward(
+                action, original_accuracy, full=True))
+        outcome = driver.run()
+        keep_mask = outcome.action.astype(bool)
+        return AgentResult(
+            keep_mask=keep_mask, probabilities=outcome.probabilities,
+            iterations=outcome.iterations,
+            reward_history=outcome.reward_history,
+            loss_history=outcome.loss_history,
+            inception_accuracy=self._masked_accuracy(
+                keep_mask.astype(np.float64)))

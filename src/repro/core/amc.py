@@ -1,0 +1,169 @@
+"""AMC-lite: a simplified AMC-style RL comparator (He et al., ECCV'18).
+
+AMC — the best-known RL pruning method before HeadStart — learns one
+*continuous compression ratio per layer* with an actor-critic agent and
+prunes within each layer by weight magnitude.  This module implements a
+compact REINFORCE variant of that recipe so the reproduction can compare
+HeadStart's binary per-map actions against AMC's per-layer ratios on the
+same substrate:
+
+* the policy is a learnable per-layer Gaussian over keep ratios
+  (sigmoid-squashed), trained with REINFORCE on the end-to-end masked
+  accuracy;
+* a FLOPs budget is enforced by rescaling sampled ratios, mirroring
+  AMC's constrained exploration;
+* within a layer, the kept maps are the top weight-magnitude filters
+  (AMC's criterion), so the two methods differ exactly where the papers
+  differ: *what the RL controls*.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.modules import Module
+from ..pruning.baselines.simple import Li17Pruner
+from ..pruning.baselines.common import PruningContext
+from ..pruning.surgery import channel_mask, prune_unit
+from ..pruning.units import ConvUnit
+from ..training import evaluate
+
+__all__ = ["AMCConfig", "AMCResult", "AMCLitePruner"]
+
+
+@dataclass(frozen=True)
+class AMCConfig:
+    """Hyper-parameters of the AMC-lite agent."""
+
+    speedup: float = 2.0
+    episodes: int = 60
+    lr: float = 0.2
+    sigma: float = 0.15
+    min_keep_ratio: float = 0.1
+    eval_batch: int = 128
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.speedup < 1.0:
+            raise ValueError("speedup must be >= 1")
+        if self.episodes < 1:
+            raise ValueError("need at least one episode")
+        if not 0.0 < self.min_keep_ratio < 1.0:
+            raise ValueError("min_keep_ratio must lie in (0, 1)")
+
+
+@dataclass
+class AMCResult:
+    """Outcome of an AMC-lite run."""
+
+    keep_ratios: np.ndarray
+    keep_counts: list[int]
+    best_accuracy: float
+    reward_history: list[float] = field(default_factory=list)
+    masks: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+class AMCLitePruner:
+    """Learns per-layer keep ratios with REINFORCE, prunes by magnitude.
+
+    Parameters
+    ----------
+    model:
+        Model exposing ``prune_units()``.
+    images / labels:
+        Calibration data for the episode reward.
+    config:
+        Agent hyper-parameters; ``config.speedup`` sets the map budget
+        (total kept maps <= total maps / speedup, AMC's resource
+        constraint restated in the paper's Eq. 1 terms).
+    """
+
+    def __init__(self, model: Module, images: np.ndarray, labels: np.ndarray,
+                 config: AMCConfig = AMCConfig(),
+                 skip_last: bool = True):
+        self.model = model
+        self.config = config
+        batch = min(config.eval_batch, len(images))
+        self.images = images[:batch]
+        self.labels = labels[:batch]
+        self.rng = np.random.default_rng(config.seed)
+        units = model.prune_units()
+        self.units: list[ConvUnit] = \
+            units[:-1] if (skip_last and len(units) > 1) else units
+        if not self.units:
+            raise ValueError("model exposes no prunable units")
+        self.total_maps = sum(u.num_maps for u in self.units)
+        # Policy parameters: one logit per layer; sigmoid(mu) = keep ratio.
+        target = np.clip(1.0 / config.speedup, 0.02, 0.98)
+        self.mu = np.full(len(self.units),
+                          float(np.log(target / (1.0 - target))))
+        self.selector = Li17Pruner()
+
+    # -- episode machinery ----------------------------------------------
+    def _sample_ratios(self) -> np.ndarray:
+        noise = self.rng.normal(scale=self.config.sigma, size=self.mu.shape)
+        ratios = 1.0 / (1.0 + np.exp(-(self.mu + noise)))
+        return np.clip(ratios, self.config.min_keep_ratio, 1.0), noise
+
+    def _enforce_budget(self, ratios: np.ndarray) -> np.ndarray:
+        """Rescale ratios so the total kept maps respect the budget."""
+        budget = self.total_maps / self.config.speedup
+        kept = sum(r * u.num_maps for r, u in zip(ratios, self.units))
+        if kept <= budget:
+            return ratios
+        scale = budget / kept
+        return np.clip(ratios * scale, self.config.min_keep_ratio, 1.0)
+
+    def _masks_for(self, ratios: np.ndarray,
+                   context: PruningContext) -> dict[str, np.ndarray]:
+        masks = {}
+        for ratio, unit in zip(ratios, self.units):
+            keep = max(1, int(round(ratio * unit.num_maps)))
+            masks[unit.name] = self.selector.select(self.model, unit, keep,
+                                                    context)
+        return masks
+
+    def _masked_accuracy(self, masks: dict[str, np.ndarray]) -> float:
+        with contextlib.ExitStack() as stack:
+            for unit in self.units:
+                stack.enter_context(channel_mask(unit, masks[unit.name]))
+            return evaluate(self.model, self.images, self.labels)
+
+    # -- training ----------------------------------------------------------
+    def run(self) -> AMCResult:
+        """Train the ratio policy; returns the best episode's masks."""
+        config = self.config
+        context = PruningContext(self.images, self.labels, self.rng)
+        baseline = None
+        best = None
+        history: list[float] = []
+        for _ in range(config.episodes):
+            ratios, noise = self._sample_ratios()
+            ratios = self._enforce_budget(ratios)
+            masks = self._masks_for(ratios, context)
+            reward = self._masked_accuracy(masks)
+            history.append(reward)
+            if baseline is None:
+                baseline = reward
+            advantage = reward - baseline
+            baseline = 0.9 * baseline + 0.1 * reward
+            # REINFORCE for a Gaussian-perturbed deterministic policy:
+            # grad log pi ~ noise / sigma^2.
+            self.mu += config.lr * advantage * noise / (config.sigma ** 2)
+            if best is None or reward > best[0]:
+                best = (reward, ratios.copy(), masks)
+        best_reward, best_ratios, best_masks = best
+        keep_counts = [int(best_masks[u.name].sum()) for u in self.units]
+        return AMCResult(keep_ratios=best_ratios, keep_counts=keep_counts,
+                         best_accuracy=best_reward, reward_history=history,
+                         masks=best_masks)
+
+    def apply(self, result: AMCResult) -> int:
+        """Physically prune the model with the learnt masks."""
+        removed = 0
+        for unit in self.units:
+            removed += prune_unit(unit, result.masks[unit.name])
+        return removed

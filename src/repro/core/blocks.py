@@ -1,0 +1,161 @@
+"""Block-level HeadStart for residual networks (paper Section V.A.2).
+
+Instead of feature maps, the action vector covers the *droppable*
+residual blocks of a ResNet (blocks with identity shortcuts; transition
+blocks must survive).  A dropped block is bypassed — the shortcut
+carries the signal, as in stochastic depth / BlockDrop — so masked
+evaluation is exact and cheap.  The shared REINFORCE driver trains a
+single head-start network whose chosen action is the learnt block
+pattern (the paper learns ``<10, 10, 7>`` from ResNet-110's
+``<18, 18, 18>``).
+
+The speedup term counts whole blocks: ``SPD = |B / ||A||_0 - sp|`` where
+``B`` is the total block count and ``||A||_0`` the surviving blocks
+(transition blocks always count as kept).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..models.resnet import ResNet
+from ..training import evaluate
+from .config import HeadStartConfig
+from .policy import HeadStartNetwork
+from .reinforce import ReinforceDriver
+from .reward import acc_term
+
+__all__ = ["BlockAgentResult", "BlockHeadStart", "bypass_blocks"]
+
+
+@contextlib.contextmanager
+def bypass_blocks(model: ResNet, droppable: list[tuple[int, int]],
+                  action: np.ndarray):
+    """Temporarily make de-selected droppable blocks act as identity."""
+    groups = model.groups()
+    patched = []
+    for (g, b), keep in zip(droppable, np.asarray(action).astype(bool)):
+        if keep:
+            continue
+        block = groups[g][b]
+        object.__setattr__(block, "forward", lambda x: x)
+        patched.append(block)
+    try:
+        yield
+    finally:
+        for block in patched:
+            object.__delattr__(block, "forward")
+
+
+@dataclass
+class BlockAgentResult:
+    """Outcome of block-level HeadStart on a ResNet."""
+
+    keep_action: np.ndarray
+    probabilities: np.ndarray
+    iterations: int
+    reward_history: list[float] = field(default_factory=list)
+    loss_history: list[float] = field(default_factory=list)
+    inception_accuracy: float = float("nan")
+    blocks_per_group: tuple[int, int, int] = (0, 0, 0)
+
+
+class BlockHeadStart:
+    """Learns which residual blocks of a ResNet to keep.
+
+    Parameters
+    ----------
+    model:
+        The ResNet to compress (e.g. ResNet-110).
+    images / labels:
+        Calibration data for reward evaluation.
+    config:
+        HeadStart hyper-parameters; ``config.speedup`` is interpreted
+        over blocks (sp=2 halves the block count).
+    """
+
+    def __init__(self, model: ResNet, images: np.ndarray, labels: np.ndarray,
+                 config: HeadStartConfig = HeadStartConfig()):
+        self.model = model
+        self.config = config
+        batch = min(config.eval_batch, len(images))
+        self.images = images[:batch]
+        self.labels = labels[:batch]
+        self.full_images = images
+        self.full_labels = labels
+        self.rng = np.random.default_rng(config.seed)
+        self.droppable = model.droppable_blocks()
+        if not self.droppable:
+            raise ValueError("model has no droppable residual blocks")
+        self.total_blocks = sum(model.blocks_per_group)
+        self.forced_keep = self.total_blocks - len(self.droppable)
+        self.policy = HeadStartNetwork(len(self.droppable),
+                                       noise_size=config.noise_size,
+                                       hidden_channels=config.hidden_channels,
+                                       keep_ratio=1.0 / config.speedup,
+                                       rng=self.rng)
+
+    # -- reward ----------------------------------------------------------
+    def _masked_accuracy(self, action: np.ndarray,
+                         full: bool = False) -> float:
+        images = self.full_images if full else self.images
+        labels = self.full_labels if full else self.labels
+        with bypass_blocks(self.model, self.droppable, action):
+            return evaluate(self.model, images, labels)
+
+    def _reward(self, action: np.ndarray, original_accuracy: float,
+                full: bool = False) -> float:
+        kept_blocks = self.forced_keep + int(np.count_nonzero(action))
+        spd = abs(self.total_blocks / max(kept_blocks, 1)
+                  - self.config.speedup)
+        accuracy = self._masked_accuracy(action, full=full)
+        return self.config.acc_weight * acc_term(accuracy, original_accuracy) \
+            - self.config.spd_weight * spd
+
+    # -- keep pattern helpers ----------------------------------------------
+    def keep_mask_by_group(self, action: np.ndarray) -> list[list[bool]]:
+        """Expand a droppable-block action to the full keep layout."""
+        groups = self.model.groups()
+        keep = [[True] * len(group) for group in groups]
+        for (g, b), flag in zip(self.droppable, np.asarray(action).astype(bool)):
+            keep[g][b] = bool(flag)
+        return keep
+
+    def blocks_per_group(self, action: np.ndarray) -> tuple[int, int, int]:
+        """Surviving block counts per group for an action.
+
+        Matches :meth:`~repro.models.resnet.ResNet.with_blocks` semantics:
+        a group is never emptied, so counts are at least 1.
+        """
+        keep = self.keep_mask_by_group(action)
+        return tuple(max(1, sum(flags)) for flags in keep)  # type: ignore[return-value]
+
+    # -- main loop -----------------------------------------------------------
+    def run(self) -> BlockAgentResult:
+        """Train the block policy until the reward stabilises."""
+        original_accuracy = evaluate(self.model, self.images, self.labels)
+        driver = ReinforceDriver(
+            self.policy,
+            reward_fn=lambda action: self._reward(action, original_accuracy),
+            config=self.config, rng=self.rng,
+            final_reward_fn=lambda action: self._reward(
+                action, original_accuracy, full=True))
+        outcome = driver.run()
+        action = outcome.action
+        return BlockAgentResult(
+            keep_action=action.astype(bool),
+            probabilities=outcome.probabilities,
+            iterations=outcome.iterations,
+            reward_history=outcome.reward_history,
+            loss_history=outcome.loss_history,
+            inception_accuracy=self._masked_accuracy(action),
+            blocks_per_group=self.blocks_per_group(action))
+
+    def apply(self, result: BlockAgentResult,
+              rng: np.random.Generator | None = None) -> ResNet:
+        """Physically rebuild the ResNet with the learnt block pattern."""
+        keep = self.keep_mask_by_group(result.keep_action)
+        return self.model.with_blocks(keep, rng=rng)

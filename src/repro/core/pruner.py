@@ -1,0 +1,150 @@
+"""Whole-model HeadStart pruning (paper Sections III & V.A.1).
+
+Layers are pruned iteratively in forward order.  For each layer a
+dedicated head-start network is trained until its reward stabilises; the
+resulting inception is applied with physical surgery, the model is
+fine-tuned, and the pipeline moves to the next layer.  The per-layer log
+(surviving maps, inception accuracy, post-fine-tune accuracy) is exactly
+the content of the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.datasets import Dataset
+from ..nn.modules import Module
+from ..pruning.graph import validate_units
+from ..pruning.stats import ModelStats, profile_model
+from ..pruning.surgery import prune_unit
+from ..pruning.units import ConvUnit
+from ..training import evaluate_dataset
+from .agent import AgentResult, LayerAgent
+from .config import HeadStartConfig
+from .finetune import FinetuneConfig, finetune
+
+__all__ = ["LayerLog", "HeadStartResult", "HeadStartPruner"]
+
+
+@dataclass
+class LayerLog:
+    """One row of the Table-1-style whole-model pruning log."""
+
+    name: str
+    maps_before: int
+    maps_after: int
+    inception_accuracy: float
+    finetuned_accuracy: float | None
+    agent_iterations: int
+    params_m: float | None = None
+    flops_b: float | None = None
+
+
+@dataclass
+class HeadStartResult:
+    """Full outcome of a whole-model HeadStart run."""
+
+    layers: list[LayerLog] = field(default_factory=list)
+    final_accuracy: float | None = None
+    masks: dict[str, np.ndarray] = field(default_factory=dict)
+    agent_results: dict[str, AgentResult] = field(default_factory=dict)
+
+    @property
+    def learnt_compression(self) -> float:
+        """Fraction of feature maps kept across pruned layers."""
+        before = sum(l.maps_before for l in self.layers)
+        after = sum(l.maps_after for l in self.layers)
+        return after / before if before else 1.0
+
+
+class HeadStartPruner:
+    """Drives layer-by-layer HeadStart pruning of a whole model.
+
+    Parameters
+    ----------
+    model:
+        Model exposing ``prune_units()``.
+    train_set / test_set:
+        Fine-tuning data and the reporting test set.
+    config:
+        RL hyper-parameters (shared by every layer's agent).
+    finetune_config:
+        Fine-tuning schedule between layers; ``None`` disables
+        fine-tuning (the Figure-3 single-layer protocol).
+    calibration:
+        ``(images, labels)`` used for reward evaluation.  Defaults to a
+        stacked sample of the training set.
+    input_shape:
+        Image shape for per-layer params/FLOPs logging; when ``None``
+        the static columns are omitted.
+    """
+
+    def __init__(self, model: Module, train_set: Dataset,
+                 test_set: Dataset | None = None,
+                 config: HeadStartConfig = HeadStartConfig(),
+                 finetune_config: FinetuneConfig | None = FinetuneConfig(),
+                 calibration: tuple[np.ndarray, np.ndarray] | None = None,
+                 input_shape: tuple[int, int, int] | None = None):
+        problems = validate_units(model.prune_units())
+        if problems:
+            raise ValueError(
+                "model's prune_units() wiring is inconsistent: "
+                + "; ".join(problems))
+        self.model = model
+        self.train_set = train_set
+        self.test_set = test_set
+        self.config = config
+        self.finetune_config = finetune_config
+        self.input_shape = input_shape
+        if calibration is None:
+            size = min(len(train_set), config.eval_batch)
+            images = np.stack([train_set[i][0] for i in range(size)])
+            labels = np.array([train_set[i][1] for i in range(size)])
+            calibration = (images, labels)
+        self.calibration = calibration
+
+    def _stats(self) -> ModelStats | None:
+        if self.input_shape is None:
+            return None
+        return profile_model(self.model, self.input_shape)
+
+    def prune_layer(self, unit: ConvUnit, seed_offset: int = 0) -> AgentResult:
+        """Train one layer's agent and physically apply its inception."""
+        layer_config = dataclasses.replace(
+            self.config, seed=self.config.seed + seed_offset)
+        agent = LayerAgent(self.model, unit, *self.calibration,
+                           config=layer_config)
+        result = agent.run()
+        prune_unit(unit, result.keep_mask)
+        return result
+
+    def run(self, skip_last: bool = True) -> HeadStartResult:
+        """Prune every layer, fine-tuning in between; returns the full log."""
+        units = self.model.prune_units()
+        active = units[:-1] if (skip_last and len(units) > 1) else units
+        outcome = HeadStartResult()
+        for offset, unit in enumerate(active):
+            maps_before = unit.num_maps
+            agent_result = self.prune_layer(unit, seed_offset=offset)
+            finetuned_accuracy = None
+            if self.finetune_config is not None:
+                finetune(self.model, self.train_set, config=self.finetune_config)
+            if self.test_set is not None:
+                finetuned_accuracy = evaluate_dataset(self.model, self.test_set)
+            stats = self._stats()
+            outcome.layers.append(LayerLog(
+                name=unit.name, maps_before=maps_before,
+                maps_after=agent_result.kept_maps,
+                inception_accuracy=agent_result.inception_accuracy,
+                finetuned_accuracy=finetuned_accuracy,
+                agent_iterations=agent_result.iterations,
+                params_m=stats.params_m if stats else None,
+                flops_b=stats.flops_b if stats else None))
+            outcome.masks[unit.name] = agent_result.keep_mask
+            outcome.agent_results[unit.name] = agent_result
+        if self.test_set is not None:
+            outcome.final_accuracy = evaluate_dataset(self.model, self.test_set)
+        return outcome

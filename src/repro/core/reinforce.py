@@ -1,0 +1,175 @@
+"""Shared REINFORCE driver for HeadStart agents (paper Eq. 5-10).
+
+Both the per-layer agent (actions over feature maps) and the block
+agent (actions over residual blocks) run the same loop:
+
+1. sample keep probabilities from the policy conditioned on fresh noise;
+2. draw ``k`` Bernoulli actions plus the greedy thresholded action;
+3. score every action with a caller-supplied reward;
+4. step the policy on ``-(1/k) Σ (R(A^s) - b) log p_θ(A^s)``;
+5. stop when the best reward stops improving, and return the best
+   candidate re-scored by an optional finalist criterion.
+
+The driver owns steps 1-2 and 4-5; callers provide the reward.  The
+candidate pool, exploration floor and count-preserving exchange
+proposals are the miniature-scale stabilisers documented in
+:class:`~repro.core.config.HeadStartConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ._optim import _policy_optimizer
+from .config import HeadStartConfig
+from .policy import (HeadStartNetwork, bernoulli_log_prob, sample_actions,
+                     threshold_action)
+
+__all__ = ["ReinforceOutcome", "ReinforceDriver"]
+
+
+@dataclass
+class ReinforceOutcome:
+    """What a driver run produced."""
+
+    action: np.ndarray
+    probabilities: np.ndarray
+    iterations: int
+    reward_history: list[float] = field(default_factory=list)
+    loss_history: list[float] = field(default_factory=list)
+
+
+class ReinforceDriver:
+    """Runs the HeadStart REINFORCE loop over a given policy.
+
+    Parameters
+    ----------
+    policy:
+        The head-start network emitting keep probabilities.
+    reward_fn:
+        Maps a binary action vector to its reward (Eq. 4); called for
+        every sampled and greedy action.
+    config:
+        Shared hyper-parameters.
+    rng:
+        Action-sampling randomness (the policy's own init randomness is
+        the caller's concern).
+    final_reward_fn:
+        Optional re-scoring of finalist candidates (e.g. on the full
+        calibration set); defaults to ``reward_fn``.
+    """
+
+    def __init__(self, policy: HeadStartNetwork,
+                 reward_fn: Callable[[np.ndarray], float],
+                 config: HeadStartConfig,
+                 rng: np.random.Generator,
+                 final_reward_fn: Callable[[np.ndarray], float] | None = None):
+        self.policy = policy
+        self.reward_fn = reward_fn
+        self.final_reward_fn = final_reward_fn or reward_fn
+        self.config = config
+        self.rng = rng
+        self.optimizer = _policy_optimizer(policy, config)
+
+    # -- candidate pool ----------------------------------------------------
+    @staticmethod
+    def _remember(candidates: dict, action: np.ndarray, reward: float,
+                  limit: int = 6) -> None:
+        key = action.astype(bool).tobytes()
+        if key not in candidates or reward > candidates[key][0]:
+            candidates[key] = (reward, action.copy())
+        if len(candidates) > limit:
+            worst = min(candidates, key=lambda k: candidates[k][0])
+            del candidates[worst]
+
+    @staticmethod
+    def _exchange_mutation(action: np.ndarray,
+                           rng: np.random.Generator) -> np.ndarray | None:
+        """Swap one kept element with one dropped one (count-preserving)."""
+        kept = np.flatnonzero(action > 0.5)
+        dropped = np.flatnonzero(action <= 0.5)
+        if kept.size == 0 or dropped.size == 0:
+            return None
+        mutated = action.copy()
+        mutated[rng.choice(kept)] = 0.0
+        mutated[rng.choice(dropped)] = 1.0
+        return mutated
+
+    # -- main loop -----------------------------------------------------------
+    def run(self) -> ReinforceOutcome:
+        """Train until the reward stabilises; return the chosen action."""
+        config = self.config
+        best_reward = -np.inf
+        candidates: dict[bytes, tuple[float, np.ndarray]] = {}
+        stall = 0
+        reward_history: list[float] = []
+        loss_history: list[float] = []
+        iterations = 0
+        final_probs = np.full(self.policy.num_maps, 0.5)
+
+        for iterations in range(1, config.max_iterations + 1):
+            noise = self.policy.sample_noise(self.rng)
+            probs = self.policy(noise)
+            prob_values = probs.data.copy()
+            final_probs = prob_values
+
+            actions = sample_actions(prob_values, config.mc_samples, self.rng,
+                                     exploration=config.exploration)
+            rewards = np.array([self.reward_fn(action) for action in actions])
+            greedy = threshold_action(prob_values, config.threshold)
+            greedy_reward = self.reward_fn(greedy)
+
+            if config.baseline == "greedy":
+                baseline = greedy_reward
+            elif config.baseline == "mean":
+                baseline = float(rewards.mean())
+            else:
+                baseline = 0.0
+
+            self.optimizer.zero_grad()
+            loss = None
+            for action, action_reward in zip(actions, rewards):
+                advantage = action_reward - baseline
+                term = bernoulli_log_prob(probs, action) * (-advantage)
+                loss = term if loss is None else loss + term
+            loss = loss / float(config.mc_samples)
+            loss.backward()
+            self.optimizer.step()
+
+            iteration_reward = float(max(rewards.max(), greedy_reward))
+            reward_history.append(iteration_reward)
+            loss_history.append(loss.item())
+
+            if iteration_reward > best_reward + config.tolerance:
+                best_reward = iteration_reward
+                stall = 0
+            else:
+                stall += 1
+
+            self._remember(candidates, greedy, greedy_reward)
+            for action, action_reward in zip(actions, rewards):
+                self._remember(candidates, action, action_reward)
+            if config.exchange_proposals and candidates:
+                base = max(candidates.values(), key=lambda c: c[0])[1]
+                exchange = self._exchange_mutation(base, self.rng)
+                if exchange is not None:
+                    self._remember(candidates, exchange,
+                                   self.reward_fn(exchange))
+
+            if iterations >= config.min_iterations and stall >= config.patience:
+                break
+
+        if config.use_best_action and candidates:
+            finalists = [action for _, action in candidates.values()]
+            final_rewards = [self.final_reward_fn(action)
+                             for action in finalists]
+            chosen = finalists[int(np.argmax(final_rewards))]
+        else:
+            chosen = threshold_action(final_probs, config.threshold)
+        return ReinforceOutcome(action=chosen, probabilities=final_probs,
+                                iterations=iterations,
+                                reward_history=reward_history,
+                                loss_history=loss_history)

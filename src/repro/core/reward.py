@@ -1,0 +1,50 @@
+"""HeadStart reward (paper Eq. 2-4).
+
+The reward balances two terms:
+
+* ``ACC = log(acc_pruned / acc_original + 1)`` — larger when the pruned
+  model's accuracy is closer to (or above) the original's;
+* ``SPD = |C / ||A||_0 - sp|`` — the distance of the *learnt* speedup
+  from the preset target.
+
+``R(A) = ACC - SPD`` is what the REINFORCE agent maximises.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["acc_term", "spd_term", "reward"]
+
+
+def acc_term(pruned_accuracy: float, original_accuracy: float,
+             eps: float = 1e-8) -> float:
+    """Eq. (2): ``log(f_W' / f_W + 1)``, larger when accuracy is preserved."""
+    if pruned_accuracy < 0 or original_accuracy < 0:
+        raise ValueError("accuracies must be non-negative")
+    return math.log(pruned_accuracy / max(original_accuracy, eps) + 1.0)
+
+
+def spd_term(total_maps: int, kept_maps: int, speedup: float) -> float:
+    """Eq. (3): distance of the learnt speedup ``C/||A||_0`` from ``sp``."""
+    if total_maps < 1:
+        raise ValueError("layer must have at least one map")
+    kept_maps = max(int(kept_maps), 1)
+    return abs(total_maps / kept_maps - speedup)
+
+
+def reward(pruned_accuracy: float, original_accuracy: float,
+           action: np.ndarray, speedup: float,
+           acc_weight: float = 1.0, spd_weight: float = 1.0) -> float:
+    """Eq. (4): ``R(A) = ACC - SPD`` for a binary action vector.
+
+    The optional weights scale each term; the paper's reward is the
+    default (1, 1).  Setting one weight to zero gives the ACC-only /
+    SPD-only variants used by the reward-composition ablation.
+    """
+    action = np.asarray(action)
+    kept = int(np.count_nonzero(action))
+    return acc_weight * acc_term(pruned_accuracy, original_accuracy) \
+        - spd_weight * spd_term(action.size, kept, speedup)

@@ -1,0 +1,121 @@
+"""Dataset containers and mini-batch loading.
+
+A :class:`Dataset` is anything indexable returning ``(image, label)``
+pairs with NCHW-style ``float32`` images.  :class:`DataLoader` produces
+shuffled mini-batches as stacked numpy arrays, with optional per-batch
+transforms (augmentation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Dataset", "ArrayDataset", "Subset", "DataLoader"]
+
+
+class Dataset:
+    """Minimal dataset interface: ``__len__`` and ``__getitem__``."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Dataset backed by in-memory arrays of images and integer labels."""
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray):
+        images = np.asarray(images, dtype=np.float32)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(images) != len(labels):
+            raise ValueError(
+                f"images ({len(images)}) and labels ({len(labels)}) differ in length")
+        if images.ndim != 4:
+            raise ValueError(f"expected NCHW images, got shape {images.shape}")
+        self.images = images
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int | np.ndarray]:
+        label = self.labels[index]
+        # Scalar labels (classification) come back as ints; dense label
+        # maps (segmentation) come back as arrays.
+        return self.images[index], (int(label) if label.ndim == 0 else label)
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self.labels) else 0
+
+
+class Subset(Dataset):
+    """View of a dataset restricted to the given indices."""
+
+    def __init__(self, base: Dataset, indices: Sequence[int]):
+        self.base = base
+        self.indices = list(indices)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        return self.base[self.indices[index]]
+
+
+class DataLoader:
+    """Iterate a dataset in mini-batches of stacked arrays.
+
+    Parameters
+    ----------
+    dataset:
+        Source of ``(image, label)`` pairs.
+    batch_size:
+        Mini-batch size; the final batch may be smaller unless
+        ``drop_last`` is set.
+    shuffle:
+        Reshuffle indices at the start of every epoch.
+    rng:
+        Generator for the shuffle order (required when ``shuffle=True``
+        for deterministic experiments).
+    transform:
+        Optional callable applied to each stacked image batch — used for
+        augmentation such as random flips/crops.
+    """
+
+    def __init__(self, dataset: Dataset, batch_size: int = 32,
+                 shuffle: bool = False, rng: np.random.Generator | None = None,
+                 transform: Callable[[np.ndarray, np.random.Generator], np.ndarray] | None = None,
+                 drop_last: bool = False):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng or np.random.default_rng()
+        self.transform = transform
+        self.drop_last = drop_last
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch = indices[start:start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                break
+            images = np.stack([self.dataset[i][0] for i in batch])
+            labels = np.array([self.dataset[i][1] for i in batch], dtype=np.int64)
+            if self.transform is not None:
+                images = self.transform(images, self.rng)
+            yield images, labels

@@ -1,0 +1,123 @@
+"""Synthetic semantic-segmentation task (the paper's future-work domain).
+
+The paper's conclusion proposes applying HeadStart "over other computer
+vision tasks, such as object detection or semantic segmentation".  This
+generator builds a dense-prediction task the library can exercise that
+claim on: images contain a few textured shapes (per-class texture
+patterns) on a textured background, and the label map assigns each pixel
+the class of the shape covering it (0 = background).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SegmentationSpec", "SegmentationTask", "make_segmentation_task"]
+
+
+@dataclass(frozen=True)
+class SegmentationSpec:
+    """Geometry of a synthetic segmentation task.
+
+    ``num_classes`` counts the foreground classes; labels run 0..C with
+    0 the background, so models need ``num_classes + 1`` outputs.
+    """
+
+    num_classes: int = 4
+    image_size: int = 16
+    channels: int = 3
+    train_images: int = 80
+    test_images: int = 32
+    shapes_per_image: tuple[int, int] = (1, 3)
+    noise: float = 0.25
+
+    def __post_init__(self):
+        if self.num_classes < 1:
+            raise ValueError("need at least one foreground class")
+        if self.image_size < 8:
+            raise ValueError("image_size must be >= 8")
+        low, high = self.shapes_per_image
+        if not 1 <= low <= high:
+            raise ValueError("invalid shapes_per_image range")
+
+    @property
+    def label_count(self) -> int:
+        """Number of label values including background."""
+        return self.num_classes + 1
+
+
+class SegmentationTask:
+    """Generated segmentation dataset with train/test arrays.
+
+    Exposes ``train_images``/``train_labels`` and test twins; images are
+    NCHW float32, labels are (N, H, W) int64 maps.
+    """
+
+    def __init__(self, spec: SegmentationSpec, seed: int = 0):
+        self.spec = spec
+        rng = np.random.default_rng(seed)
+        self._textures = self._class_textures(rng)
+        self.train_images, self.train_labels = self._split(
+            spec.train_images, rng)
+        self.test_images, self.test_labels = self._split(
+            spec.test_images, rng)
+
+    def _class_textures(self, rng: np.random.Generator) -> np.ndarray:
+        """A distinctive colour/texture per class (index 0 = background)."""
+        spec = self.spec
+        textures = rng.normal(scale=0.6,
+                              size=(spec.label_count, spec.channels, 1, 1))
+        # Add a per-class spatial frequency so classes are not colour-only.
+        size = spec.image_size
+        yy, xx = np.mgrid[0:size, 0:size] / max(size - 1, 1)
+        patterns = np.empty((spec.label_count, 1, size, size))
+        for cls in range(spec.label_count):
+            fx, fy = rng.uniform(1.0, 4.0, size=2)
+            patterns[cls, 0] = 0.5 * np.sin(2 * np.pi * (fx * xx + fy * yy))
+        return textures + patterns
+
+    def _split(self, count: int,
+               rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        spec = self.spec
+        size = spec.image_size
+        images = np.empty((count, spec.channels, size, size), dtype=np.float32)
+        labels = np.zeros((count, size, size), dtype=np.int64)
+        yy, xx = np.mgrid[0:size, 0:size]
+        for i in range(count):
+            canvas = self._textures[0] \
+                + rng.normal(scale=spec.noise,
+                             size=(spec.channels, size, size))
+            label = np.zeros((size, size), dtype=np.int64)
+            low, high = spec.shapes_per_image
+            for _ in range(rng.integers(low, high + 1)):
+                cls = int(rng.integers(1, spec.label_count))
+                cy, cx = rng.uniform(0.2, 0.8, size=2) * size
+                radius = rng.uniform(0.15, 0.3) * size
+                if rng.random() < 0.5:  # disc
+                    mask = (yy - cy) ** 2 + (xx - cx) ** 2 <= radius ** 2
+                else:  # square
+                    mask = (np.abs(yy - cy) <= radius) & \
+                           (np.abs(xx - cx) <= radius)
+                canvas = np.where(mask[None], self._textures[cls]
+                                  + rng.normal(scale=spec.noise,
+                                               size=(spec.channels, size, size)),
+                                  canvas)
+                label[mask] = cls
+            images[i] = canvas.astype(np.float32)
+            labels[i] = label
+        mean = images.mean(axis=(0, 2, 3), keepdims=True)
+        std = images.std(axis=(0, 2, 3), keepdims=True) + 1e-8
+        return (images - mean) / std, labels
+
+
+def make_segmentation_task(num_classes: int = 4, image_size: int = 16,
+                           train_images: int = 80, test_images: int = 32,
+                           noise: float = 0.25,
+                           seed: int = 0) -> SegmentationTask:
+    """Build the default synthetic segmentation task."""
+    spec = SegmentationSpec(num_classes=num_classes, image_size=image_size,
+                            train_images=train_images,
+                            test_images=test_images, noise=noise)
+    return SegmentationTask(spec, seed=seed)

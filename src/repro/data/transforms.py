@@ -1,0 +1,73 @@
+"""Batch-level image augmentations for training.
+
+Each transform operates on a stacked NCHW ``float32`` batch and an
+explicit RNG, matching the :class:`~repro.data.datasets.DataLoader`
+``transform`` hook.  Compose several with :class:`Compose`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Compose", "random_horizontal_flip", "random_shift", "add_noise",
+           "standard_augmentation"]
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[Transform]):
+        self.transforms = list(transforms)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            batch = transform(batch, rng)
+        return batch
+
+
+def random_horizontal_flip(batch: np.ndarray, rng: np.random.Generator,
+                           p: float = 0.5) -> np.ndarray:
+    """Flip each image left-right with probability ``p``."""
+    flips = rng.random(len(batch)) < p
+    if flips.any():
+        batch = batch.copy()
+        batch[flips] = batch[flips, :, :, ::-1]
+    return batch
+
+
+def random_shift(batch: np.ndarray, rng: np.random.Generator,
+                 max_shift: int = 2) -> np.ndarray:
+    """Randomly translate each image by up to ``max_shift`` pixels.
+
+    Implemented as zero-pad + crop, the standard CIFAR augmentation.
+    """
+    if max_shift <= 0:
+        return batch
+    n, c, h, w = batch.shape
+    padded = np.pad(batch, ((0, 0), (0, 0),
+                            (max_shift, max_shift), (max_shift, max_shift)))
+    out = np.empty_like(batch)
+    offsets = rng.integers(0, 2 * max_shift + 1, size=(n, 2))
+    for i, (dy, dx) in enumerate(offsets):
+        out[i] = padded[i, :, dy:dy + h, dx:dx + w]
+    return out
+
+
+def add_noise(batch: np.ndarray, rng: np.random.Generator,
+              scale: float = 0.05) -> np.ndarray:
+    """Add white Gaussian noise (mild regulariser for synthetic data)."""
+    return batch + rng.normal(scale=scale, size=batch.shape).astype(batch.dtype)
+
+
+def standard_augmentation(max_shift: int = 2, noise: float = 0.0) -> Compose:
+    """The default train-time augmentation used by the experiments."""
+    transforms: list[Transform] = [random_horizontal_flip]
+    if max_shift > 0:
+        transforms.append(lambda b, r: random_shift(b, r, max_shift=max_shift))
+    if noise > 0:
+        transforms.append(lambda b, r: add_noise(b, r, scale=noise))
+    return Compose(transforms)

@@ -1,0 +1,103 @@
+"""Energy model: joules per inference on the modelled devices.
+
+The paper motivates pruning with "high-throughput and energy-efficient
+inference" on edge devices; this module extends the latency roofline
+with a standard two-component energy model:
+
+``E = P_dynamic * t_busy + P_idle * t_total``
+
+where busy time is the roofline compute/memory time and the idle power
+covers the dispatch gaps.  Power figures are public TDP-level numbers
+derated to sustained inference load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.modules import Module
+from ..pruning.stats import ModelStats
+from .device import CORTEX_A57, GTX_1080TI, TX2_GPU, XEON_E5_2620, DeviceSpec
+from .latency import LatencyReport, estimate_latency
+
+__all__ = ["PowerSpec", "EnergyReport", "DEVICE_POWER", "estimate_energy",
+           "energy_efficiency_ratio"]
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Dynamic (busy) and idle power of a device, in watts."""
+
+    dynamic_w: float
+    idle_w: float
+
+    def __post_init__(self):
+        if self.dynamic_w <= 0 or self.idle_w < 0:
+            raise ValueError("power figures must be positive")
+
+
+#: Sustained inference power per modelled device.
+DEVICE_POWER: dict[str, PowerSpec] = {
+    GTX_1080TI.name: PowerSpec(dynamic_w=180.0, idle_w=55.0),
+    TX2_GPU.name: PowerSpec(dynamic_w=9.0, idle_w=2.5),
+    XEON_E5_2620.name: PowerSpec(dynamic_w=70.0, idle_w=25.0),
+    CORTEX_A57.name: PowerSpec(dynamic_w=4.0, idle_w=1.0),
+}
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy decomposition of one batch of inference."""
+
+    latency: LatencyReport
+    power: PowerSpec
+
+    @property
+    def busy_s(self) -> float:
+        """Time the execution units are actually working."""
+        return sum(max(l.compute_s, l.memory_s) for l in self.latency.layers)
+
+    @property
+    def joules_per_batch(self) -> float:
+        return self.power.dynamic_w * self.busy_s \
+            + self.power.idle_w * self.latency.latency_s
+
+    @property
+    def joules_per_image(self) -> float:
+        return self.joules_per_batch / self.latency.batch_size
+
+    @property
+    def images_per_joule(self) -> float:
+        per_image = self.joules_per_image
+        return 1.0 / per_image if per_image > 0 else float("inf")
+
+
+def estimate_energy(model: Module | ModelStats,
+                    input_shape: tuple[int, int, int],
+                    device: DeviceSpec, batch_size: int = 1,
+                    power: PowerSpec | None = None) -> EnergyReport:
+    """Energy report for a model on a device.
+
+    ``power`` defaults to the device's entry in :data:`DEVICE_POWER`.
+    """
+    if power is None:
+        try:
+            power = DEVICE_POWER[device.name]
+        except KeyError:
+            raise ValueError(
+                f"no power spec for {device.name!r}; pass one explicitly") \
+                from None
+    latency = estimate_latency(model, input_shape, device, batch_size)
+    return EnergyReport(latency=latency, power=power)
+
+
+def energy_efficiency_ratio(pruned: Module | ModelStats,
+                            original: Module | ModelStats,
+                            input_shape: tuple[int, int, int],
+                            device: DeviceSpec,
+                            batch_size: int = 1) -> float:
+    """images-per-joule ratio pruned/original (>1 means pruning helps)."""
+    pruned_report = estimate_energy(pruned, input_shape, device, batch_size)
+    original_report = estimate_energy(original, input_shape, device,
+                                      batch_size)
+    return pruned_report.images_per_joule / original_report.images_per_joule

@@ -1,0 +1,110 @@
+"""Roofline latency model: per-layer time, end-to-end latency, fps.
+
+Every traced layer pays ``max(compute_time, memory_time) + overhead``:
+
+* compute time is the layer's MACs over the device's peak throughput
+  scaled by a utilisation factor that ramps with per-layer work (small
+  pruned layers cannot fill a wide GPU — the effect that caps VGG's
+  CIFAR-scale speedup at ~1x on the 1080Ti in the paper's Figure 6);
+* memory time is the bytes moved (input + output + weights, FP32) over
+  DRAM bandwidth.
+
+The model intentionally ignores cross-layer fusion and caching; it is a
+*shape* model for comparing architectures on the same device, which is
+exactly how the paper uses its fps numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.modules import Module
+from ..pruning.stats import LayerStats, ModelStats, profile_model
+from .device import DeviceSpec
+
+__all__ = ["LayerLatency", "LatencyReport", "layer_latency", "estimate_latency",
+           "estimate_fps", "speedup_over"]
+
+_BYTES_PER_VALUE = 4  # FP32 inference
+
+
+@dataclass(frozen=True)
+class LayerLatency:
+    """Latency decomposition of one layer on one device."""
+
+    name: str
+    kind: str
+    compute_s: float
+    memory_s: float
+    overhead_s: float
+
+    @property
+    def total_s(self) -> float:
+        return max(self.compute_s, self.memory_s) + self.overhead_s
+
+    @property
+    def bound(self) -> str:
+        """Which roof limits this layer: ``"compute"`` or ``"memory"``."""
+        return "compute" if self.compute_s >= self.memory_s else "memory"
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """End-to-end latency of a model on a device."""
+
+    device: DeviceSpec
+    layers: tuple[LayerLatency, ...]
+    batch_size: int = 1
+
+    @property
+    def latency_s(self) -> float:
+        """Seconds per batch."""
+        return sum(layer.total_s for layer in self.layers)
+
+    @property
+    def fps(self) -> float:
+        """Frames per second (images, not batches)."""
+        return self.batch_size / self.latency_s if self.latency_s > 0 else float("inf")
+
+
+def layer_latency(stats: LayerStats, device: DeviceSpec,
+                  batch_size: int = 1) -> LayerLatency:
+    """Roofline latency of one traced layer for a batch."""
+    macs = stats.flops * batch_size
+    channels = stats.output_shape[1] if len(stats.output_shape) > 1 else 0
+    utilisation = device.utilisation(macs, channels)
+    compute_s = macs / (device.peak_macs * max(utilisation, 1e-9)) if macs else 0.0
+    activations = int(np.prod(stats.input_shape[1:])) + int(np.prod(stats.output_shape[1:]))
+    bytes_moved = (activations * batch_size + stats.params) * _BYTES_PER_VALUE
+    memory_s = bytes_moved / device.bandwidth
+    return LayerLatency(name=stats.name, kind=stats.kind,
+                        compute_s=compute_s, memory_s=memory_s,
+                        overhead_s=device.overhead_s)
+
+
+def estimate_latency(model: Module | ModelStats,
+                     input_shape: tuple[int, int, int],
+                     device: DeviceSpec, batch_size: int = 1) -> LatencyReport:
+    """Latency report for a model (or pre-traced stats) on a device."""
+    stats = model if isinstance(model, ModelStats) \
+        else profile_model(model, input_shape)
+    layers = tuple(layer_latency(layer, device, batch_size)
+                   for layer in stats.layers)
+    return LatencyReport(device=device, layers=layers, batch_size=batch_size)
+
+
+def estimate_fps(model: Module | ModelStats, input_shape: tuple[int, int, int],
+                 device: DeviceSpec, batch_size: int = 1) -> float:
+    """Frames per second of a model on a device (the Figure 6 metric)."""
+    return estimate_latency(model, input_shape, device, batch_size).fps
+
+
+def speedup_over(pruned: Module | ModelStats, original: Module | ModelStats,
+                 input_shape: tuple[int, int, int], device: DeviceSpec,
+                 batch_size: int = 1) -> float:
+    """fps ratio pruned/original — the paper's headline speedup numbers."""
+    pruned_fps = estimate_fps(pruned, input_shape, device, batch_size)
+    original_fps = estimate_fps(original, input_shape, device, batch_size)
+    return pruned_fps / original_fps

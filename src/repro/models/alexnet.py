@@ -1,0 +1,74 @@
+"""Compact AlexNet-style model (Krizhevsky et al.) — another single-branch
+network the paper cites as directly amenable to layer-wise HeadStart."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.modules import (BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d,
+                          Module, ReLU, Sequential)
+from ..pruning.units import Consumer, ConvUnit
+
+__all__ = ["AlexNet", "alexnet"]
+
+_PLAN = (64, 192, 384, 256, 256)
+
+
+class AlexNet(Module):
+    """Five convolutions with pooling after convs 1, 2 and 5.
+
+    Kernel sizes are reduced relative to the ImageNet original so the
+    model works at CIFAR-like resolutions.
+    """
+
+    def __init__(self, num_classes: int = 10, input_size: int = 16,
+                 in_channels: int = 3, width_multiplier: float = 0.25,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        widths = [max(1, int(round(c * width_multiplier))) for c in _PLAN]
+        self._records: list[tuple[str, Conv2d, BatchNorm2d]] = []
+
+        layers: list[Module] = []
+        channels = in_channels
+        spatial = input_size
+        pool_after = {0, 1, 4}
+        for index, out_channels in enumerate(widths):
+            conv = Conv2d(channels, out_channels, 3, padding=1, rng=rng)
+            bn = BatchNorm2d(out_channels)
+            layers += [conv, bn, ReLU()]
+            self._records.append((f"conv{index + 1}", conv, bn))
+            channels = out_channels
+            if index in pool_after and spatial >= 2:
+                layers.append(MaxPool2d(2))
+                spatial //= 2
+        self.features = Sequential(*layers)
+        self.final_spatial = spatial
+        hidden = max(num_classes, 64)
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(channels * spatial ** 2, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, num_classes, rng=rng))
+
+    def forward(self, x):
+        return self.classifier(self.features(x))
+
+    def prune_units(self) -> list[ConvUnit]:
+        """All five convolutions are prunable in forward order."""
+        units = []
+        first_linear = self.classifier[1]
+        for index, (name, conv, bn) in enumerate(self._records):
+            if index + 1 < len(self._records):
+                consumers = [Consumer(self._records[index + 1][1])]
+            else:
+                consumers = [Consumer(first_linear,
+                                      spatial=self.final_spatial ** 2)]
+            units.append(ConvUnit(name, conv, bn, consumers=consumers))
+        return units
+
+
+def alexnet(num_classes: int = 10, input_size: int = 16,
+            rng: np.random.Generator | None = None) -> AlexNet:
+    """Default compact AlexNet preset."""
+    return AlexNet(num_classes=num_classes, input_size=input_size, rng=rng)

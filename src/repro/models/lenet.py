@@ -1,0 +1,59 @@
+"""LeNet-5-style model — the paper's example of a single-branch shallow
+network that HeadStart handles layer by layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.modules import (BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d,
+                          Module, ReLU, Sequential)
+from ..pruning.units import Consumer, ConvUnit
+
+__all__ = ["LeNet", "lenet"]
+
+
+class LeNet(Module):
+    """Two 5x5 convolutions with pooling and a two-layer classifier."""
+
+    def __init__(self, num_classes: int = 10, input_size: int = 16,
+                 in_channels: int = 3, width_multiplier: float = 1.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        c1 = max(1, int(round(6 * width_multiplier)))
+        c2 = max(1, int(round(16 * width_multiplier)))
+        self.conv1 = Conv2d(in_channels, c1, 5, padding=2, rng=rng)
+        self.bn1 = BatchNorm2d(c1)
+        self.conv2 = Conv2d(c1, c2, 5, padding=2, rng=rng)
+        self.bn2 = BatchNorm2d(c2)
+        self.relu = ReLU()
+        self.pool = MaxPool2d(2)
+        self.final_spatial = input_size // 4
+        hidden = max(num_classes, 32)
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(c2 * self.final_spatial ** 2, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, num_classes, rng=rng))
+
+    def forward(self, x):
+        out = self.pool(self.relu(self.bn1(self.conv1(x))))
+        out = self.pool(self.relu(self.bn2(self.conv2(out))))
+        return self.classifier(out)
+
+    def prune_units(self) -> list[ConvUnit]:
+        """Both convolutions are prunable."""
+        first_linear = self.classifier[1]
+        return [
+            ConvUnit("conv1", self.conv1, self.bn1,
+                     consumers=[Consumer(self.conv2)]),
+            ConvUnit("conv2", self.conv2, self.bn2,
+                     consumers=[Consumer(first_linear,
+                                         spatial=self.final_spatial ** 2)]),
+        ]
+
+
+def lenet(num_classes: int = 10, input_size: int = 16,
+          rng: np.random.Generator | None = None) -> LeNet:
+    """Default LeNet preset."""
+    return LeNet(num_classes=num_classes, input_size=input_size, rng=rng)

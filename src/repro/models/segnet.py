@@ -1,0 +1,73 @@
+"""Small fully-convolutional segmentation network.
+
+Used for the paper's future-work claim (HeadStart on dense-prediction
+tasks): an encoder of strided-free convolutions followed by a 1x1
+per-pixel classifier, keeping full spatial resolution so the pruning
+machinery needs no upsampling support.  Every encoder convolution is a
+prunable unit; the 1x1 head is its final consumer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.modules import BatchNorm2d, Conv2d, Module, ReLU
+from ..pruning.units import Consumer, ConvUnit
+
+__all__ = ["SegNet", "segnet"]
+
+
+class SegNet(Module):
+    """Fully-convolutional per-pixel classifier.
+
+    Parameters
+    ----------
+    num_classes:
+        Output classes *including* background.
+    widths:
+        Channel counts of the encoder convolutions.
+    """
+
+    def __init__(self, num_classes: int, in_channels: int = 3,
+                 widths: tuple[int, ...] = (16, 32, 32),
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        if num_classes < 2:
+            raise ValueError("need at least two output classes")
+        if not widths:
+            raise ValueError("encoder needs at least one convolution")
+        self.num_classes = num_classes
+        self.relu = ReLU()
+        self._records: list[tuple[str, Conv2d, BatchNorm2d]] = []
+        channels = in_channels
+        for index, width in enumerate(widths, start=1):
+            conv = Conv2d(channels, width, 3, padding=1, rng=rng)
+            bn = BatchNorm2d(width)
+            setattr(self, f"conv{index}", conv)
+            setattr(self, f"bn{index}", bn)
+            self._records.append((f"conv{index}", conv, bn))
+            channels = width
+        self.head = Conv2d(channels, num_classes, 1, rng=rng)
+
+    def forward(self, x):
+        out = x
+        for _, conv, bn in self._records:
+            out = self.relu(bn(conv(out)))
+        return self.head(out)
+
+    def prune_units(self) -> list[ConvUnit]:
+        """Every encoder convolution is prunable; the head consumes last."""
+        units = []
+        for index, (name, conv, bn) in enumerate(self._records):
+            if index + 1 < len(self._records):
+                consumers = [Consumer(self._records[index + 1][1])]
+            else:
+                consumers = [Consumer(self.head)]
+            units.append(ConvUnit(name, conv, bn, consumers=consumers))
+        return units
+
+
+def segnet(num_classes: int = 5, rng: np.random.Generator | None = None) -> SegNet:
+    """Default segmentation model preset (4 foreground classes + bg)."""
+    return SegNet(num_classes=num_classes, rng=rng)

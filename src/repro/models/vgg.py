@@ -1,0 +1,129 @@
+"""VGG models (Simonyan & Zisserman) on the numpy substrate.
+
+The paper prunes VGG-16 on CIFAR-100 and CUB-200.  The architecture here
+follows the standard stage plans with two reproduction-specific knobs:
+
+* ``width_multiplier`` scales all channel counts so miniature instances
+  train on a single CPU core (layer topology — what pruning interacts
+  with — is unchanged);
+* pooling after a stage is skipped once the spatial size reaches 1, so
+  small synthetic image sizes work with the same 5-stage plan.
+
+The classifier is a single linear layer on the flattened final feature
+map, which matches the parameter accounting in the paper's tables (e.g.
+14.77 M parameters for VGG-16 / CIFAR-100 at 32x32, 19.74 M for CUB-200
+at 224x224).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.modules import (BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d,
+                          Module, ReLU, Sequential)
+from ..pruning.units import Consumer, ConvUnit
+
+__all__ = ["VGG", "VGG_PLANS", "vgg16", "vgg11"]
+
+# Stage plans: channels per conv, grouped by stage (pool between stages).
+VGG_PLANS: dict[str, list[list[int]]] = {
+    "vgg11": [[64], [128], [256, 256], [512, 512], [512, 512]],
+    "vgg13": [[64, 64], [128, 128], [256, 256], [512, 512], [512, 512]],
+    "vgg16": [[64, 64], [128, 128], [256, 256, 256],
+              [512, 512, 512], [512, 512, 512]],
+    "vgg19": [[64, 64], [128, 128], [256, 256, 256, 256],
+              [512, 512, 512, 512], [512, 512, 512, 512]],
+}
+
+
+def _scaled(channels: int, multiplier: float) -> int:
+    return max(1, int(round(channels * multiplier)))
+
+
+class VGG(Module):
+    """Configurable VGG with batch norm and a linear classifier head.
+
+    Parameters
+    ----------
+    plan:
+        Either a plan name from :data:`VGG_PLANS` or an explicit stage
+        plan (list of lists of channel counts).
+    num_classes / input_size / in_channels:
+        Task geometry.
+    width_multiplier:
+        Scales every stage's channel counts (miniature presets use
+        values well below 1).
+    rng:
+        Generator for weight initialisation.
+    """
+
+    def __init__(self, plan: str | list[list[int]] = "vgg16",
+                 num_classes: int = 10, input_size: int = 32,
+                 in_channels: int = 3, width_multiplier: float = 1.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        if isinstance(plan, str):
+            if plan not in VGG_PLANS:
+                raise ValueError(f"unknown VGG plan {plan!r}")
+            plan = VGG_PLANS[plan]
+        self.plan = [[_scaled(c, width_multiplier) for c in stage] for stage in plan]
+        self.num_classes = num_classes
+        self.input_size = input_size
+
+        layers: list[Module] = []
+        conv_records: list[tuple[str, Conv2d, BatchNorm2d]] = []
+        channels = in_channels
+        spatial = input_size
+        for stage_index, stage in enumerate(self.plan, start=1):
+            for conv_index, out_channels in enumerate(stage, start=1):
+                conv = Conv2d(channels, out_channels, 3, padding=1, rng=rng)
+                bn = BatchNorm2d(out_channels)
+                layers += [conv, bn, ReLU()]
+                conv_records.append((f"conv{stage_index}_{conv_index}", conv, bn))
+                channels = out_channels
+            if spatial >= 2:
+                layers.append(MaxPool2d(2))
+                spatial //= 2
+        self.features = Sequential(*layers)
+        self.final_spatial = spatial
+        self.flatten = Flatten()
+        self.classifier = Linear(channels * spatial * spatial, num_classes, rng=rng)
+        self._conv_records = conv_records
+
+    def forward(self, x):
+        return self.classifier(self.flatten(self.features(x)))
+
+    # -- pruning interface ------------------------------------------------
+    def conv_names(self) -> list[str]:
+        """Names of all convolution layers in forward order."""
+        return [name for name, _, _ in self._conv_records]
+
+    def prune_units(self) -> list[ConvUnit]:
+        """Ordered prunable units; the last conv feeds the classifier."""
+        units: list[ConvUnit] = []
+        records = self._conv_records
+        for index, (name, conv, bn) in enumerate(records):
+            if index + 1 < len(records):
+                consumers = [Consumer(records[index + 1][1])]
+            else:
+                consumers = [Consumer(self.classifier,
+                                      spatial=self.final_spatial ** 2)]
+            units.append(ConvUnit(name=name, conv=conv, bn=bn, consumers=consumers))
+        return units
+
+
+def vgg16(num_classes: int = 10, input_size: int = 32,
+          width_multiplier: float = 1.0,
+          rng: np.random.Generator | None = None) -> VGG:
+    """The paper's main model: VGG-16 with batch norm."""
+    return VGG("vgg16", num_classes=num_classes, input_size=input_size,
+               width_multiplier=width_multiplier, rng=rng)
+
+
+def vgg11(num_classes: int = 10, input_size: int = 32,
+          width_multiplier: float = 1.0,
+          rng: np.random.Generator | None = None) -> VGG:
+    """Smaller VGG variant used in quick examples and tests."""
+    return VGG("vgg11", num_classes=num_classes, input_size=input_size,
+               width_multiplier=width_multiplier, rng=rng)

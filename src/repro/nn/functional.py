@@ -1,0 +1,264 @@
+"""Neural-network operators built on the autograd engine.
+
+Convolution and pooling are implemented with hand-written backward rules
+(im2col / col2im) for speed; normalisation, softmax and losses are
+composed from :class:`~repro.nn.tensor.Tensor` primitives so their
+gradients come straight from the engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "im2col", "col2im", "conv2d", "linear", "max_pool2d", "avg_pool2d",
+    "global_avg_pool2d", "upsample_nearest", "batch_norm2d", "dropout",
+    "log_softmax",
+    "softmax", "cross_entropy", "nll_loss", "mse_loss",
+]
+
+
+# ----------------------------------------------------------------------
+# im2col / col2im
+# ----------------------------------------------------------------------
+def _out_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kernel: tuple[int, int], stride: int, pad: int) -> np.ndarray:
+    """Unfold ``x`` of shape (N, C, H, W) into (N*oh*ow, C*kh*kw) patches."""
+    kh, kw = kernel
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    windows = sliding_window_view(x, (kh, kw), axis=(2, 3))[:, :, ::stride, ::stride]
+    # windows: (N, C, oh, ow, kh, kw) -> (N, oh, ow, C, kh, kw)
+    n, c, oh, ow = windows.shape[:4]
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(cols: np.ndarray, x_shape: tuple[int, int, int, int],
+           kernel: tuple[int, int], stride: int, pad: int) -> np.ndarray:
+    """Fold patch gradients back to an image gradient (inverse of im2col)."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    hp, wp = h + 2 * pad, w + 2 * pad
+    oh = _out_size(h, kh, stride, pad)
+    ow = _out_size(w, kw, stride, pad)
+    cols = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    image = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            image[:, :, i:i + stride * oh:stride, j:j + stride * ow:stride] += cols[:, :, i, j]
+    if pad:
+        image = image[:, :, pad:hp - pad, pad:wp - pad]
+    return image
+
+
+# ----------------------------------------------------------------------
+# Convolution / linear
+# ----------------------------------------------------------------------
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution (cross-correlation) over NCHW input.
+
+    ``weight`` has shape (out_channels, in_channels, kh, kw).
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    n, c, h, w = x.shape
+    f, cw, kh, kw = weight.shape
+    if cw != c:
+        raise ValueError(f"conv2d: input has {c} channels, weight expects {cw}")
+    oh = _out_size(h, kh, stride, padding)
+    ow = _out_size(w, kw, stride, padding)
+
+    cols = im2col(x.data, (kh, kw), stride, padding)
+    w_mat = weight.data.reshape(f, -1)
+    out = cols @ w_mat.T
+    if bias is not None:
+        out = out + bias.data
+    out = out.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        g_mat = g.transpose(0, 2, 3, 1).reshape(-1, f)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(g_mat.sum(axis=0))
+        if weight.requires_grad:
+            weight._accumulate((g_mat.T @ cols).reshape(weight.shape))
+        if x.requires_grad:
+            dcols = g_mat @ w_mat
+            x._accumulate(col2im(dcols, x.shape, (kh, kw), stride, padding))
+
+    return Tensor._make(out, parents, backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with weight shape (out, in)."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Max pooling over NCHW input (no padding)."""
+    stride = stride or kernel
+    x = as_tensor(x)
+    n, c, h, w = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+
+    windows = sliding_window_view(x.data, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride].reshape(n, c, oh, ow, kernel * kernel)
+    argmax = windows.argmax(axis=-1)
+    out = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
+
+    def backward(g: np.ndarray) -> None:
+        ni, ci, ohi, owi = np.indices((n, c, oh, ow))
+        rows = ohi * stride + argmax // kernel
+        cols = owi * stride + argmax % kernel
+        dx = np.zeros_like(x.data)
+        np.add.at(dx, (ni, ci, rows, cols), g)
+        x._accumulate(dx)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Average pooling over NCHW input (no padding)."""
+    stride = stride or kernel
+    x = as_tensor(x)
+    n, c, h, w = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+
+    windows = sliding_window_view(x.data, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]
+    out = windows.mean(axis=(-2, -1))
+
+    def backward(g: np.ndarray) -> None:
+        dx = np.zeros_like(x.data)
+        share = g / (kernel * kernel)
+        for i in range(kernel):
+            for j in range(kernel):
+                dx[:, :, i:i + stride * oh:stride, j:j + stride * ow:stride] += share
+        x._accumulate(dx)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Spatial mean, returning shape (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+def upsample_nearest(x: Tensor, scale: int = 2) -> Tensor:
+    """Nearest-neighbour upsampling of NCHW input by an integer factor.
+
+    Backward sums the gradient over each replicated block (the exact
+    adjoint of replication).
+    """
+    if scale < 1:
+        raise ValueError("scale must be a positive integer")
+    x = as_tensor(x)
+    if scale == 1:
+        return x
+    n, c, h, w = x.shape
+    data = np.repeat(np.repeat(x.data, scale, axis=2), scale, axis=3)
+
+    def backward(g: np.ndarray) -> None:
+        folded = g.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
+        x._accumulate(folded)
+
+    return Tensor._make(data, (x,), backward)
+
+
+# ----------------------------------------------------------------------
+# Normalisation / regularisation
+# ----------------------------------------------------------------------
+def batch_norm2d(x: Tensor, gamma: Tensor, beta: Tensor,
+                 running_mean: np.ndarray, running_var: np.ndarray,
+                 training: bool, momentum: float = 0.1,
+                 eps: float = 1e-5) -> Tensor:
+    """Batch normalisation over the channel axis of NCHW input.
+
+    Running statistics are updated in place during training.
+    """
+    if training:
+        mean = x.mean(axis=(0, 2, 3), keepdims=True)
+        var = ((x - mean) ** 2).mean(axis=(0, 2, 3), keepdims=True)
+        running_mean *= (1.0 - momentum)
+        running_mean += momentum * mean.data.reshape(-1)
+        running_var *= (1.0 - momentum)
+        running_var += momentum * var.data.reshape(-1)
+    else:
+        mean = Tensor(running_mean.reshape(1, -1, 1, 1))
+        var = Tensor(running_var.reshape(1, -1, 1, 1))
+    inv_std = (var + eps) ** -0.5
+    normalised = (x - mean) * inv_std
+    return normalised * gamma.reshape(1, -1, 1, 1) + beta.reshape(1, -1, 1, 1)
+
+
+def dropout(x: Tensor, p: float, training: bool,
+            rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-p)``."""
+    if not training or p <= 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+# ----------------------------------------------------------------------
+# Softmax & losses
+# ----------------------------------------------------------------------
+def log_softmax(logits: Tensor, axis: int = 1) -> Tensor:
+    """Numerically stable log-softmax."""
+    shift = Tensor(logits.data.max(axis=axis, keepdims=True))
+    shifted = logits - shift
+    lse = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - lse
+
+
+def softmax(logits: Tensor, axis: int = 1) -> Tensor:
+    """Numerically stable softmax."""
+    return log_softmax(logits, axis=axis).exp()
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood for integer class targets.
+
+    Accepts (N, C) log-probabilities with (N,) targets, or dense
+    (N, C, H, W) log-probabilities with (N, H, W) targets (the
+    segmentation case) — the loss averages over every labelled element.
+    """
+    targets = np.asarray(targets)
+    if log_probs.ndim == 4:
+        n, c = log_probs.shape[:2]
+        log_probs = log_probs.transpose(0, 2, 3, 1).reshape(-1, c)
+        targets = targets.reshape(-1)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Softmax cross-entropy with integer class targets.
+
+    The class axis is axis 1 (classification and dense prediction).
+    """
+    return nll_loss(log_softmax(logits, axis=1), targets)
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    diff = pred - as_tensor(target)
+    return (diff * diff).mean()

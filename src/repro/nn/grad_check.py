@@ -1,0 +1,57 @@
+"""Numerical gradient checking for the autograd engine.
+
+Used by the test suite to verify every hand-written backward rule against
+central finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
+                       index: int, eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of ``fn(*inputs).sum()`` w.r.t. one input."""
+    target = inputs[index]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = float(fn(*inputs).data.sum())
+        flat[i] = original - eps
+        lower = float(fn(*inputs).data.sum())
+        flat[i] = original
+        grad.reshape(-1)[i] = (upper - lower) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
+                    atol: float = 1e-4, rtol: float = 1e-3,
+                    eps: float = 1e-5) -> None:
+    """Assert analytic gradients of ``fn`` match finite differences.
+
+    Every input with ``requires_grad=True`` is checked.  Inputs should be
+    float64 for the tolerances to be meaningful.
+    """
+    for tensor in inputs:
+        tensor.grad = None
+    out = fn(*inputs)
+    out.backward(np.ones_like(out.data))
+    for index, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        numeric = numerical_gradient(fn, inputs, index, eps=eps)
+        analytic = tensor.grad
+        if analytic is None:
+            raise AssertionError(f"input {index} received no gradient")
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.abs(analytic - numeric).max()
+            raise AssertionError(
+                f"gradient mismatch on input {index}: max abs error {worst:.3e}")

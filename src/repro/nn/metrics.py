@@ -1,0 +1,29 @@
+"""Classification metrics used across experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["accuracy", "topk_accuracy"]
+
+
+def _logits_array(logits) -> np.ndarray:
+    return logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+
+
+def accuracy(logits, targets) -> float:
+    """Top-1 accuracy in [0, 1] for (N, classes) logits and integer targets."""
+    scores = _logits_array(logits)
+    targets = np.asarray(targets)
+    return float((scores.argmax(axis=1) == targets).mean())
+
+
+def topk_accuracy(logits, targets, k: int = 5) -> float:
+    """Top-k accuracy in [0, 1]."""
+    scores = _logits_array(logits)
+    targets = np.asarray(targets)
+    k = min(k, scores.shape[1])
+    topk = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    return float((topk == targets[:, None]).any(axis=1).mean())

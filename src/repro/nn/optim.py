@@ -1,0 +1,152 @@
+"""Optimizers and learning-rate schedules.
+
+The paper trains head-start (policy) networks with RMSprop and fine-tunes
+pruned models with SGD; both are provided, plus Adam for convenience.
+Weight decay is implemented as L2 regularisation added to the gradient,
+matching the classic formulation the paper's hyper-parameters assume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .modules import Parameter
+
+__all__ = ["Optimizer", "SGD", "RMSprop", "Adam", "StepLR", "CosineLR"]
+
+
+class Optimizer:
+    """Base class holding a parameter list and a learning rate."""
+
+    def __init__(self, params, lr: float, weight_decay: float = 0.0):
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = float(lr)
+        self.weight_decay = float(weight_decay)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for param in self.params:
+            param.grad = None
+
+    def _grad(self, param: Parameter) -> np.ndarray | None:
+        if param.grad is None:
+            return None
+        if self.weight_decay:
+            return param.grad + self.weight_decay * param.data
+        return param.grad
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr, weight_decay)
+        self.momentum = float(momentum)
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param in self.params:
+            grad = self._grad(param)
+            if grad is None:
+                continue
+            if self.momentum:
+                velocity = self._velocity.get(id(param))
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[id(param)] = velocity
+                grad = velocity
+            param.data = param.data - self.lr * grad
+
+
+class RMSprop(Optimizer):
+    """RMSprop (Hinton lecture 6a), used by the paper to train policies."""
+
+    def __init__(self, params, lr: float = 1e-3, alpha: float = 0.99,
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params, lr, weight_decay)
+        self.alpha = float(alpha)
+        self.eps = float(eps)
+        self._square_avg: dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param in self.params:
+            grad = self._grad(param)
+            if grad is None:
+                continue
+            avg = self._square_avg.get(id(param))
+            if avg is None:
+                avg = np.zeros_like(param.data)
+            avg = self.alpha * avg + (1.0 - self.alpha) * grad * grad
+            self._square_avg[id(param)] = avg
+            param.data = param.data - self.lr * grad / (np.sqrt(avg) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(self, params, lr: float = 1e-3, betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params, lr, weight_decay)
+        self.beta1, self.beta2 = betas
+        self.eps = float(eps)
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for param in self.params:
+            grad = self._grad(param)
+            if grad is None:
+                continue
+            m = self._m.get(id(param), np.zeros_like(param.data))
+            v = self._v.get(id(param), np.zeros_like(param.data))
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+            self._m[id(param)] = m
+            self._v[id(param)] = v
+            step = self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            param.data = param.data - step
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        self.optimizer = optimizer
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+        self._epoch = 0
+        self._base_lr = optimizer.lr
+
+    def step(self) -> None:
+        """Advance one epoch and update the optimizer's learning rate."""
+        self._epoch += 1
+        decays = self._epoch // self.step_size
+        self.optimizer.lr = self._base_lr * (self.gamma ** decays)
+
+
+class CosineLR:
+    """Cosine annealing from the base learning rate down to ``min_lr``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0):
+        self.optimizer = optimizer
+        self.total_epochs = max(1, int(total_epochs))
+        self.min_lr = float(min_lr)
+        self._epoch = 0
+        self._base_lr = optimizer.lr
+
+    def step(self) -> None:
+        """Advance one epoch and update the optimizer's learning rate."""
+        self._epoch = min(self._epoch + 1, self.total_epochs)
+        cos = 0.5 * (1.0 + np.cos(np.pi * self._epoch / self.total_epochs))
+        self.optimizer.lr = self.min_lr + (self._base_lr - self.min_lr) * cos

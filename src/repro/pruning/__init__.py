@@ -1,0 +1,28 @@
+"""``repro.pruning`` — structured-pruning substrate and metric baselines."""
+
+from . import baselines
+from .graph import build_pruning_graph, describe_graph, validate_units
+from .pipeline import (LayerPruneRecord, WholeModelResult, budget_keep_count,
+                       prune_whole_model)
+from .quantization import (QuantizationReport, quantize_weights,
+                           quantized_storage_bytes)
+from .schedule import GradualSchedule, iterative_prune
+from .stats import LayerStats, ModelStats, compression_ratio, profile_model
+from .surgery import channel_mask, keep_indices, prune_model, prune_unit
+from .unstructured import (UnstructuredMasks, magnitude_prune,
+                           sparse_execution_time_factor, sparsity_of)
+from .units import Consumer, ConvUnit
+
+__all__ = [
+    "baselines",
+    "Consumer", "ConvUnit",
+    "channel_mask", "prune_unit", "prune_model", "keep_indices",
+    "LayerStats", "ModelStats", "profile_model", "compression_ratio",
+    "LayerPruneRecord", "WholeModelResult", "budget_keep_count",
+    "prune_whole_model",
+    "GradualSchedule", "iterative_prune",
+    "UnstructuredMasks", "magnitude_prune", "sparsity_of",
+    "sparse_execution_time_factor",
+    "build_pruning_graph", "validate_units", "describe_graph",
+    "QuantizationReport", "quantize_weights", "quantized_storage_bytes",
+]

@@ -1,0 +1,16 @@
+"""Baseline pruners the paper compares HeadStart against."""
+
+from .autopruner import AutoPrunerPruner, SlimmingPruner, inject_gate
+from .common import (Pruner, PruningContext, available_pruners, build_pruner,
+                     collect_unit_outputs, mask_from_scores, register_pruner)
+from .simple import APoZPruner, EntropyPruner, Li17Pruner, RandomPruner
+from .taylor import TaylorPruner
+from .thinet import ThiNetPruner
+
+__all__ = [
+    "Pruner", "PruningContext", "register_pruner", "build_pruner",
+    "available_pruners", "collect_unit_outputs", "mask_from_scores",
+    "RandomPruner", "Li17Pruner", "APoZPruner", "EntropyPruner",
+    "ThiNetPruner", "TaylorPruner", "AutoPrunerPruner", "SlimmingPruner",
+    "inject_gate",
+]

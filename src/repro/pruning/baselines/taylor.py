@@ -1,0 +1,79 @@
+"""Taylor-expansion pruning (Molchanov et al., 2016 — paper ref. [8]).
+
+Ranks feature maps by the first-order Taylor estimate of the loss change
+caused by removing them: ``|dL/da * a|`` averaged over activations and
+calibration samples.  Unlike the weight-magnitude and zero-count
+criteria, this uses *gradient* information — it is the strongest of the
+classic per-layer metrics and a useful extra comparator for HeadStart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...nn import functional as F
+from ...nn.modules import Module
+from ...nn.tensor import Tensor
+from ..units import ConvUnit
+from .common import Pruner, PruningContext, mask_from_scores, register_pruner
+
+__all__ = ["TaylorPruner"]
+
+
+@register_pruner("taylor")
+class TaylorPruner(Pruner):
+    """First-order Taylor criterion on the unit's output maps.
+
+    Parameters
+    ----------
+    batch_size:
+        Calibration mini-batch size for the gradient passes.
+    max_batches:
+        Upper bound on calibration batches (cost control).
+    """
+
+    def __init__(self, batch_size: int = 32, max_batches: int = 4):
+        self.batch_size = batch_size
+        self.max_batches = max_batches
+
+    def select(self, model: Module, unit: ConvUnit, keep_count: int,
+               context: PruningContext) -> np.ndarray:
+        target = unit.bn if unit.bn is not None else unit.conv
+        captured: list[Tensor] = []
+        original = type(target).forward
+
+        def recording(x, _m=target):
+            out = original(_m, x)
+            captured.append(out)
+            return out
+
+        object.__setattr__(target, "forward", recording)
+        scores = np.zeros(unit.num_maps, dtype=np.float64)
+        was_training = model.training
+        try:
+            model.eval()  # frozen batch statistics; gradients still flow
+            images, labels = context.images, context.labels
+            batches = 0
+            for start in range(0, len(images), self.batch_size):
+                if batches >= self.max_batches:
+                    break
+                batch = images[start:start + self.batch_size]
+                batch_labels = labels[start:start + self.batch_size]
+                captured.clear()
+                model.zero_grad()
+                logits = model(Tensor(batch))
+                loss = F.cross_entropy(logits, batch_labels)
+                loss.backward()
+                activation = captured[0]
+                if activation.grad is None:
+                    raise RuntimeError(
+                        "unit output received no gradient; is the unit on "
+                        "the forward path?")
+                taylor = np.abs(activation.data * activation.grad)
+                scores += taylor.mean(axis=(0, 2, 3))
+                batches += 1
+        finally:
+            object.__delattr__(target, "forward")
+            model.train(was_training)
+            model.zero_grad()
+        return mask_from_scores(scores, keep_count)

@@ -1,0 +1,136 @@
+"""ThiNet (Luo et al., 2017): greedy next-layer reconstruction pruning.
+
+ThiNet prunes the channels whose removal least perturbs the *next*
+layer's pre-activation output.  Contributions of each channel to sampled
+output locations are collected, a greedy search picks the removal set
+minimising the reconstruction error, and (optionally) the surviving
+channels are rescaled by least squares — the paper's "better weight
+initialisation" step that HeadStart's Section II contrasts itself with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...nn.functional import im2col
+from ...nn.modules import Conv2d, Linear, Module
+from ..units import ConvUnit
+from .common import Pruner, PruningContext, collect_unit_outputs, register_pruner
+
+__all__ = ["ThiNetPruner"]
+
+
+def _pool_to_spatial(maps: np.ndarray, target_spatial: int) -> np.ndarray:
+    """Max-pool (2x2) captured maps until ``H*W == target_spatial``.
+
+    The unit's output is captured at the batch norm, but a linear
+    consumer sees the features *after* any pooling stages in between;
+    in every supported model family those stages are 2x2 max pools.
+    """
+    while maps.shape[2] * maps.shape[3] > target_spatial:
+        n, c, h, w = maps.shape
+        if h < 2 or w < 2:
+            raise ValueError(
+                f"cannot pool maps of shape {maps.shape} down to "
+                f"{target_spatial} positions")
+        maps = maps[:, :, :h - h % 2, :w - w % 2] \
+            .reshape(n, c, h // 2, 2, w // 2, 2).max(axis=(3, 5))
+    if maps.shape[2] * maps.shape[3] != target_spatial:
+        raise ValueError(
+            f"captured maps ({maps.shape[2]}x{maps.shape[3]}) do not match "
+            f"the consumer's {target_spatial} positions per channel")
+    return maps
+
+
+@register_pruner("thinet")
+class ThiNetPruner(Pruner):
+    """Greedy channel selection by next-layer reconstruction error.
+
+    Parameters
+    ----------
+    num_samples:
+        Number of sampled output locations used to estimate the
+        reconstruction error (ThiNet's sampled training instances).
+    least_squares_rescale:
+        Apply ThiNet's least-squares scaling of surviving filters.
+    """
+
+    def __init__(self, num_samples: int = 256,
+                 least_squares_rescale: bool = True):
+        self.num_samples = num_samples
+        self.least_squares_rescale = least_squares_rescale
+
+    def select(self, model: Module, unit: ConvUnit, keep_count: int,
+               context: PruningContext) -> np.ndarray:
+        maps = collect_unit_outputs(model, unit, context.images, post_relu=True)
+        contributions = self._contributions(unit, maps, context.rng)
+        keep_mask = self._greedy_keep(contributions, keep_count)
+        if self.least_squares_rescale:
+            self._rescale(unit, contributions, keep_mask)
+        return keep_mask
+
+    # -- contribution matrix ------------------------------------------------
+    def _contributions(self, unit: ConvUnit, maps: np.ndarray,
+                       rng: np.random.Generator) -> np.ndarray:
+        """(num_samples, C) matrix of per-channel output contributions."""
+        consumer = unit.consumers[0].module
+        channels = maps.shape[1]
+        if isinstance(consumer, Conv2d):
+            k = consumer.kernel_size
+            cols = im2col(maps, (k, k), consumer.stride, consumer.padding)
+            weight = consumer.weight.data  # (F, C, k, k)
+            rows = rng.integers(0, cols.shape[0], size=self.num_samples)
+            filters = rng.integers(0, weight.shape[0], size=self.num_samples)
+            patches = cols[rows].reshape(self.num_samples, channels, k * k)
+            kernels = weight[filters]  # (L, C, k, k)
+            return np.einsum("lck,lck->lc",
+                             patches, kernels.reshape(self.num_samples, channels, k * k))
+        if isinstance(consumer, Linear):
+            spatial = unit.consumers[0].spatial
+            maps = _pool_to_spatial(maps, spatial)
+            flat = maps.reshape(maps.shape[0], channels * spatial)
+            weight = consumer.weight.data  # (out, C*spatial)
+            rows = rng.integers(0, flat.shape[0], size=self.num_samples)
+            outputs = rng.integers(0, weight.shape[0], size=self.num_samples)
+            picked = flat[rows].reshape(self.num_samples, channels, spatial)
+            kernels = weight[outputs].reshape(self.num_samples, channels, spatial)
+            return np.einsum("lcs,lcs->lc", picked, kernels)
+        raise TypeError(f"unsupported consumer {type(consumer).__name__}")
+
+    # -- greedy search --------------------------------------------------------
+    @staticmethod
+    def _greedy_keep(contributions: np.ndarray, keep_count: int) -> np.ndarray:
+        """Greedily grow the *removal* set minimising ||sum of removed||^2."""
+        channels = contributions.shape[1]
+        keep_count = int(np.clip(keep_count, 1, channels))
+        removed = np.zeros(channels, dtype=bool)
+        removed_sum = np.zeros(contributions.shape[0])
+        for _ in range(channels - keep_count):
+            candidates = np.flatnonzero(~removed)
+            trial = removed_sum[:, None] + contributions[:, candidates]
+            errors = (trial ** 2).sum(axis=0)
+            best = candidates[int(errors.argmin())]
+            removed[best] = True
+            removed_sum += contributions[:, best]
+        return ~removed
+
+    # -- least-squares rescale ------------------------------------------------
+    @staticmethod
+    def _rescale(unit: ConvUnit, contributions: np.ndarray,
+                 keep_mask: np.ndarray) -> None:
+        kept = np.flatnonzero(keep_mask)
+        target = contributions.sum(axis=1)
+        basis = contributions[:, kept]
+        scales, *_ = np.linalg.lstsq(basis, target, rcond=None)
+        # Positive, bounded scales keep relu(s*x) == s*relu(x) valid and
+        # guard against degenerate solutions on tiny calibration sets.
+        scales = np.clip(scales, 0.25, 4.0)
+        if unit.bn is not None:
+            # The contribution was measured after batch norm, so the
+            # rescale must act on the normalised output.
+            unit.bn.weight.data[kept] *= scales
+            unit.bn.bias.data[kept] *= scales
+        else:
+            unit.conv.weight.data[kept] *= scales[:, None, None, None]
+            if unit.conv.bias is not None:
+                unit.conv.bias.data[kept] *= scales

@@ -1,0 +1,108 @@
+"""Pruning-dependency graph: validation and inspection of unit wiring.
+
+A model's ``prune_units()`` encodes which downstream layers consume each
+prunable convolution's feature maps.  Getting this wiring wrong produces
+silently broken surgery (mismatched channel counts or orphaned
+consumers), so this module builds an explicit ``networkx`` digraph of
+producers and consumers and checks its consistency:
+
+* every consumer's input width matches its producer's output width
+  (times the flatten ``spatial`` factor for linear consumers);
+* no convolution is consumed by two different prunable units (a unit's
+  surgery would corrupt the other's bookkeeping);
+* units form a DAG in forward order.
+
+``describe_graph`` renders the wiring as text for debugging new models.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..nn.modules import Conv2d, Linear
+from .units import ConvUnit
+
+__all__ = ["build_pruning_graph", "validate_units", "describe_graph"]
+
+
+def build_pruning_graph(units: list[ConvUnit]) -> "nx.DiGraph":
+    """Digraph with one node per unit plus terminal consumer nodes.
+
+    Node names are unit names; consumers that are not themselves a
+    unit's conv become ``<unit>-><ClassName>`` terminal nodes.  Edges
+    carry the ``spatial`` factor of the consumption.
+    """
+    graph = nx.DiGraph()
+    conv_to_unit = {id(unit.conv): unit.name for unit in units}
+    for unit in units:
+        graph.add_node(unit.name, maps=unit.num_maps,
+                       kind=type(unit.conv).__name__)
+    for unit in units:
+        for consumer in unit.consumers:
+            target = conv_to_unit.get(id(consumer.module))
+            if target is None:
+                target = f"{unit.name}->{type(consumer.module).__name__}"
+                graph.add_node(target, terminal=True)
+            graph.add_edge(unit.name, target, spatial=consumer.spatial)
+    return graph
+
+
+def validate_units(units: list[ConvUnit]) -> list[str]:
+    """Return a list of wiring problems (empty when consistent)."""
+    problems: list[str] = []
+    seen_consumers: dict[int, str] = {}
+    for unit in units:
+        produced = unit.conv.out_channels
+        if unit.bn is not None and unit.bn.num_features != produced:
+            problems.append(
+                f"{unit.name}: batch norm tracks {unit.bn.num_features} "
+                f"features but the conv produces {produced}")
+        if not unit.consumers:
+            problems.append(f"{unit.name}: has no consumers")
+        for consumer in unit.consumers:
+            module = consumer.module
+            owner = seen_consumers.get(id(module))
+            if owner is not None:
+                problems.append(
+                    f"{unit.name}: consumer {type(module).__name__} already "
+                    f"consumed by {owner}")
+            seen_consumers[id(module)] = unit.name
+            if isinstance(module, Conv2d):
+                if module.in_channels != produced:
+                    problems.append(
+                        f"{unit.name}: conv consumer expects "
+                        f"{module.in_channels} channels, producer has "
+                        f"{produced}")
+            elif isinstance(module, Linear):
+                expected = produced * consumer.spatial
+                if module.in_features != expected:
+                    problems.append(
+                        f"{unit.name}: linear consumer expects "
+                        f"{module.in_features} features, producer supplies "
+                        f"{expected}")
+            else:
+                problems.append(
+                    f"{unit.name}: unsupported consumer type "
+                    f"{type(module).__name__}")
+    graph = build_pruning_graph(units)
+    if not nx.is_directed_acyclic_graph(graph):
+        problems.append("unit graph contains a cycle")
+    return problems
+
+
+def describe_graph(units: list[ConvUnit]) -> str:
+    """Human-readable rendering of the pruning graph in forward order."""
+    graph = build_pruning_graph(units)
+    lines = []
+    for name in nx.topological_sort(graph):
+        data = graph.nodes[name]
+        if data.get("terminal"):
+            continue
+        successors = []
+        for _, target, edge in graph.out_edges(name, data=True):
+            suffix = f" (x{edge['spatial']})" if edge.get("spatial", 1) != 1 \
+                else ""
+            successors.append(f"{target}{suffix}")
+        lines.append(f"{name} [{data['maps']} maps] -> "
+                     + (", ".join(successors) if successors else "(none)"))
+    return "\n".join(lines)

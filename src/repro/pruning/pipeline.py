@@ -1,0 +1,89 @@
+"""Whole-model pruning pipeline for metric baselines.
+
+Mirrors the paper's protocol: prune layer by layer in forward order to
+the budget ``C / sp`` survivors per layer (Eq. 1's constraint), with an
+optional fine-tune after each layer, exactly as Table 1 does for Li'17.
+The last convolution is skipped by default — the paper's Table 1 leaves
+CONV5_3 at full width for both methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..nn.modules import Module
+from .baselines.common import Pruner, PruningContext
+from .surgery import prune_unit
+from .units import ConvUnit
+
+__all__ = ["LayerPruneRecord", "WholeModelResult", "budget_keep_count",
+           "prune_whole_model"]
+
+
+@dataclass
+class LayerPruneRecord:
+    """Outcome of pruning one layer during a whole-model pass."""
+
+    name: str
+    maps_before: int
+    maps_after: int
+    inception_accuracy: float | None = None
+    finetuned_accuracy: float | None = None
+
+
+@dataclass
+class WholeModelResult:
+    """Per-layer log of a whole-model pruning run."""
+
+    records: list[LayerPruneRecord] = field(default_factory=list)
+
+    @property
+    def total_removed(self) -> int:
+        return sum(r.maps_before - r.maps_after for r in self.records)
+
+
+def budget_keep_count(num_maps: int, speedup: float) -> int:
+    """Survivor budget ``C / sp`` for a layer (Eq. 1 constraint)."""
+    if speedup < 1.0:
+        raise ValueError("speedup must be >= 1")
+    return max(1, int(round(num_maps / speedup)))
+
+
+def prune_whole_model(
+        model: Module, units: list[ConvUnit], pruner: Pruner,
+        speedup: float, context: PruningContext,
+        evaluate: Callable[[Module], float] | None = None,
+        finetune: Callable[[Module], None] | None = None,
+        skip_last: bool = True) -> WholeModelResult:
+    """Prune every unit in order with a fixed per-layer budget.
+
+    Parameters
+    ----------
+    evaluate:
+        Optional callback measuring test accuracy; called right after
+        pruning each layer (the inception accuracy) and again after the
+        fine-tune, populating the Table-1-style record.
+    finetune:
+        Optional callback that trains the model in place between layers.
+    skip_last:
+        Leave the final unit unpruned (paper Table 1 convention).
+    """
+    result = WholeModelResult()
+    active = units[:-1] if (skip_last and len(units) > 1) else units
+    for unit in active:
+        keep_count = budget_keep_count(unit.num_maps, speedup)
+        mask = pruner.select(model, unit, keep_count, context)
+        record = LayerPruneRecord(name=unit.name, maps_before=unit.num_maps,
+                                  maps_after=int(np.count_nonzero(mask)))
+        prune_unit(unit, mask)
+        if evaluate is not None:
+            record.inception_accuracy = evaluate(model)
+        if finetune is not None:
+            finetune(model)
+            if evaluate is not None:
+                record.finetuned_accuracy = evaluate(model)
+        result.records.append(record)
+    return result

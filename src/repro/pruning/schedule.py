@@ -1,0 +1,72 @@
+"""Gradual (multi-round) pruning schedules.
+
+The paper prunes each layer to its final budget in one shot; a common
+alternative the pruning literature uses (and a natural extension here)
+is *gradual* pruning: several rounds that tighten the budget
+geometrically with fine-tuning in between, which tends to be gentler at
+aggressive speedups.  :func:`iterative_prune` drives any registered
+metric pruner through such a schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..nn.modules import Module
+from .baselines.common import Pruner, PruningContext
+from .pipeline import budget_keep_count
+from .surgery import prune_unit
+from .units import ConvUnit
+
+__all__ = ["GradualSchedule", "iterative_prune"]
+
+
+@dataclass(frozen=True)
+class GradualSchedule:
+    """Geometric interpolation from no pruning to the target speedup.
+
+    ``speedups()`` yields one *cumulative* speedup per round; round ``r``
+    of ``n`` targets ``sp ** ((r+1)/n)``, so the final round lands exactly
+    on the requested speedup.
+    """
+
+    target_speedup: float
+    rounds: int = 3
+
+    def __post_init__(self):
+        if self.target_speedup < 1.0:
+            raise ValueError("target speedup must be >= 1")
+        if self.rounds < 1:
+            raise ValueError("need at least one round")
+
+    def speedups(self) -> list[float]:
+        return [self.target_speedup ** ((r + 1) / self.rounds)
+                for r in range(self.rounds)]
+
+
+def iterative_prune(model: Module, units: list[ConvUnit], pruner: Pruner,
+                    schedule: GradualSchedule, context: PruningContext,
+                    finetune: Callable[[Module], None] | None = None,
+                    skip_last: bool = True) -> dict[str, int]:
+    """Prune every unit through the schedule's rounds.
+
+    Each round re-ranks the *surviving* maps with the pruner and removes
+    enough to hit that round's cumulative budget (computed against the
+    original map counts), then optionally fine-tunes.  Returns the final
+    surviving map count per unit.
+    """
+    active = units[:-1] if (skip_last and len(units) > 1) else units
+    original_counts = {unit.name: unit.num_maps for unit in active}
+    for speedup in schedule.speedups():
+        for unit in active:
+            target = budget_keep_count(original_counts[unit.name], speedup)
+            if target >= unit.num_maps:
+                continue
+            mask = pruner.select(model, unit, target, context)
+            prune_unit(unit, mask)
+        if finetune is not None:
+            finetune(model)
+    return {unit.name: unit.num_maps for unit in active}

@@ -1,0 +1,48 @@
+"""Model checkpointing: save/load module state as ``.npz`` archives.
+
+Pruned models change tensor shapes, so a checkpoint records each
+parameter/buffer array under its state-dict key; loading validates that
+the target module has the same architecture (same keys and shapes).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..nn.modules import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_keys"]
+
+
+def save_checkpoint(model: Module, path: str | Path) -> Path:
+    """Write the model's state dict to ``path`` (.npz appended if absent)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    # npz keys cannot contain '/', state keys use '.', so they are safe.
+    np.savez(path, **state)
+    return path
+
+
+def checkpoint_keys(path: str | Path) -> list[str]:
+    """State-dict keys stored in a checkpoint (cheap metadata peek)."""
+    with np.load(Path(path)) as archive:
+        return sorted(archive.files)
+
+
+def load_checkpoint(model: Module, path: str | Path) -> Module:
+    """Load a checkpoint saved by :func:`save_checkpoint` into ``model``.
+
+    Raises ``KeyError``/``ValueError`` when the checkpoint does not match
+    the module's architecture, which typically means the checkpoint was
+    taken after pruning surgery — rebuild the pruned architecture first
+    (e.g. via :func:`repro.core.vgg_like_pruned`).
+    """
+    with np.load(Path(path)) as archive:
+        state = {key: archive[key] for key in archive.files}
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,90 @@
+"""Shared fixtures: deterministic RNGs, tiny tasks and pre-trained models.
+
+Expensive fixtures (trained models) are session-scoped; tests must not
+mutate them — tests that prune make their own copies via state dicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_cifar100_like
+from repro.models import LeNet, ResNet, vgg16
+from repro.training import TrainConfig, fit
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_task():
+    """A small synthetic classification task shared across tests."""
+    return make_cifar100_like(num_classes=6, image_size=12,
+                              train_per_class=12, test_per_class=6,
+                              noise=0.5, seed=99)
+
+
+@pytest.fixture(scope="session")
+def trained_lenet(tiny_task):
+    """A LeNet trained on the tiny task (do not mutate in tests)."""
+    model = LeNet(num_classes=6, input_size=12,
+                  rng=np.random.default_rng(7))
+    fit(model, tiny_task.train, None,
+        TrainConfig(epochs=6, batch_size=24, lr=0.05, seed=0))
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_mini_vgg(tiny_task):
+    """A narrow VGG-16 trained on the tiny task (do not mutate)."""
+    model = vgg16(num_classes=6, input_size=12, width_multiplier=0.125,
+                  rng=np.random.default_rng(11))
+    fit(model, tiny_task.train, None,
+        TrainConfig(epochs=6, batch_size=24, lr=0.05, seed=0))
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_mini_resnet(tiny_task):
+    """A small ResNet trained on the tiny task (do not mutate)."""
+    model = ResNet((3, 3, 3), num_classes=6, width_multiplier=0.5,
+                   rng=np.random.default_rng(13))
+    fit(model, tiny_task.train, None,
+        TrainConfig(epochs=5, batch_size=24, lr=0.05, seed=0))
+    return model
+
+
+@pytest.fixture
+def calibration(tiny_task):
+    """(images, labels) calibration arrays from the tiny task."""
+    images = tiny_task.train.images[:48]
+    labels = tiny_task.train.labels[:48]
+    return images, labels
+
+
+def clone_module(module):
+    """Deep-copy a module's learnable state onto a fresh instance."""
+    import copy
+    twin = copy.deepcopy(module)
+    return twin
+
+
+@pytest.fixture
+def lenet_copy(trained_lenet):
+    """A mutable deep copy of the trained LeNet."""
+    return clone_module(trained_lenet)
+
+
+@pytest.fixture
+def vgg_copy(trained_mini_vgg):
+    """A mutable deep copy of the trained mini VGG."""
+    return clone_module(trained_mini_vgg)
+
+
+@pytest.fixture
+def resnet_copy(trained_mini_resnet):
+    """A mutable deep copy of the trained mini ResNet."""
+    return clone_module(trained_mini_resnet)

@@ -1,0 +1,123 @@
+"""Unit/behaviour tests for the per-layer HeadStart agent."""
+
+import numpy as np
+import pytest
+
+from repro.core import HeadStartConfig, LayerAgent
+from repro.training import evaluate
+
+
+def quick_config(**overrides):
+    defaults = dict(speedup=2.0, max_iterations=12, min_iterations=4,
+                    patience=4, eval_batch=32, seed=0, mc_samples=2)
+    defaults.update(overrides)
+    return HeadStartConfig(**defaults)
+
+
+class TestLayerAgent:
+    def test_returns_valid_mask(self, lenet_copy, calibration):
+        unit = lenet_copy.prune_units()[0]
+        agent = LayerAgent(lenet_copy, unit, *calibration, quick_config())
+        result = agent.run()
+        assert result.keep_mask.dtype == bool
+        assert result.keep_mask.shape == (unit.num_maps,)
+        assert 1 <= result.kept_maps <= unit.num_maps
+
+    def test_model_unchanged_by_agent(self, lenet_copy, calibration,
+                                      tiny_task):
+        before = evaluate(lenet_copy, tiny_task.test.images,
+                          tiny_task.test.labels)
+        unit = lenet_copy.prune_units()[0]
+        LayerAgent(lenet_copy, unit, *calibration, quick_config()).run()
+        after = evaluate(lenet_copy, tiny_task.test.images,
+                         tiny_task.test.labels)
+        assert before == after
+
+    def test_histories_recorded(self, lenet_copy, calibration):
+        unit = lenet_copy.prune_units()[0]
+        result = LayerAgent(lenet_copy, unit, *calibration,
+                            quick_config()).run()
+        assert len(result.reward_history) == result.iterations
+        assert len(result.loss_history) == result.iterations
+        assert all(np.isfinite(r) for r in result.reward_history)
+
+    def test_respects_min_iterations(self, lenet_copy, calibration):
+        unit = lenet_copy.prune_units()[0]
+        config = quick_config(min_iterations=6, patience=1, max_iterations=20)
+        result = LayerAgent(lenet_copy, unit, *calibration, config).run()
+        assert result.iterations >= 6
+
+    def test_max_iterations_bound(self, lenet_copy, calibration):
+        unit = lenet_copy.prune_units()[0]
+        config = quick_config(max_iterations=5, min_iterations=5,
+                              patience=100)
+        result = LayerAgent(lenet_copy, unit, *calibration, config).run()
+        assert result.iterations == 5
+
+    def test_sparsity_near_target(self, vgg_copy, calibration):
+        unit = vgg_copy.prune_units()[3]
+        config = quick_config(speedup=2.0, max_iterations=15,
+                              min_iterations=10)
+        result = LayerAgent(vgg_copy, unit, *calibration, config).run()
+        target = unit.num_maps / 2
+        assert abs(result.kept_maps - target) <= max(2, 0.4 * target)
+
+    def test_deterministic_under_seed(self, lenet_copy, calibration):
+        unit = lenet_copy.prune_units()[0]
+        r1 = LayerAgent(lenet_copy, unit, *calibration,
+                        quick_config(seed=9)).run()
+        r2 = LayerAgent(lenet_copy, unit, *calibration,
+                        quick_config(seed=9)).run()
+        assert np.array_equal(r1.keep_mask, r2.keep_mask)
+        assert r1.reward_history == r2.reward_history
+
+    def test_inception_accuracy_is_masked_accuracy(self, lenet_copy,
+                                                   calibration):
+        from repro.pruning import channel_mask
+        unit = lenet_copy.prune_units()[0]
+        result = LayerAgent(lenet_copy, unit, *calibration,
+                            quick_config()).run()
+        images, labels = calibration
+        with channel_mask(unit, result.keep_mask):
+            direct = evaluate(lenet_copy, images[:32], labels[:32])
+        assert np.isclose(result.inception_accuracy, direct)
+
+    @pytest.mark.parametrize("baseline", ["greedy", "mean", "none"])
+    def test_all_baselines_run(self, lenet_copy, calibration, baseline):
+        unit = lenet_copy.prune_units()[0]
+        config = quick_config(baseline=baseline)
+        result = LayerAgent(lenet_copy, unit, *calibration, config).run()
+        assert result.kept_maps >= 1
+
+    @pytest.mark.parametrize("optimizer", ["sgd", "rmsprop"])
+    def test_both_optimizers_run(self, lenet_copy, calibration, optimizer):
+        unit = lenet_copy.prune_units()[0]
+        config = quick_config(optimizer=optimizer,
+                              lr=0.3 if optimizer == "sgd" else 1e-3)
+        result = LayerAgent(lenet_copy, unit, *calibration, config).run()
+        assert result.kept_maps >= 1
+
+    def test_thresholded_final_action_mode(self, lenet_copy, calibration):
+        unit = lenet_copy.prune_units()[0]
+        config = quick_config(use_best_action=False)
+        result = LayerAgent(lenet_copy, unit, *calibration, config).run()
+        expected = (result.probabilities >= config.threshold)
+        if not expected.any():
+            expected[int(result.probabilities.argmax())] = True
+        assert np.array_equal(result.keep_mask, expected)
+
+    def test_calibration_batch_capped(self, lenet_copy, calibration):
+        images, labels = calibration
+        agent = LayerAgent(lenet_copy, lenet_copy.prune_units()[0],
+                           images, labels, quick_config(eval_batch=8))
+        assert len(agent.images) == 8
+
+    def test_learning_improves_reward(self, vgg_copy, calibration):
+        """Late-phase rewards should exceed the first iteration's."""
+        unit = vgg_copy.prune_units()[3]
+        config = quick_config(speedup=2.0, max_iterations=25,
+                              min_iterations=25, patience=25, mc_samples=3)
+        result = LayerAgent(vgg_copy, unit, *calibration, config).run()
+        first = result.reward_history[0]
+        late_best = max(result.reward_history[5:])
+        assert late_best >= first

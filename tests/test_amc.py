@@ -1,0 +1,85 @@
+"""Unit tests for the AMC-lite comparator."""
+
+import numpy as np
+import pytest
+
+from repro.core import AMCConfig, AMCLitePruner
+from repro.pruning import profile_model
+from repro.training import evaluate
+
+
+def quick_config(**overrides):
+    defaults = dict(speedup=2.0, episodes=8, eval_batch=32, seed=0)
+    defaults.update(overrides)
+    return AMCConfig(**defaults)
+
+
+class TestAMCConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AMCConfig(speedup=0.5)
+        with pytest.raises(ValueError):
+            AMCConfig(episodes=0)
+        with pytest.raises(ValueError):
+            AMCConfig(min_keep_ratio=0.0)
+
+
+class TestAMCLitePruner:
+    def test_run_returns_valid_masks(self, lenet_copy, calibration):
+        agent = AMCLitePruner(lenet_copy, *calibration, quick_config())
+        result = agent.run()
+        assert len(result.keep_counts) == len(agent.units)
+        assert len(result.reward_history) == 8
+        for unit in agent.units:
+            mask = result.masks[unit.name]
+            assert mask.shape == (unit.num_maps,)
+            assert 1 <= mask.sum() <= unit.num_maps
+
+    def test_budget_respected(self, vgg_copy, calibration):
+        agent = AMCLitePruner(vgg_copy, *calibration,
+                              quick_config(speedup=2.0, episodes=5))
+        result = agent.run()
+        kept = sum(result.keep_counts)
+        # Rounding can exceed the exact budget by at most one map/layer.
+        assert kept <= agent.total_maps / 2 + len(agent.units)
+
+    def test_model_unchanged_by_run(self, lenet_copy, calibration,
+                                    tiny_task):
+        before = evaluate(lenet_copy, tiny_task.test.images,
+                          tiny_task.test.labels)
+        AMCLitePruner(lenet_copy, *calibration, quick_config()).run()
+        after = evaluate(lenet_copy, tiny_task.test.images,
+                         tiny_task.test.labels)
+        assert before == after
+
+    def test_apply_physically_prunes(self, lenet_copy, calibration):
+        before = profile_model(lenet_copy, (3, 12, 12))
+        agent = AMCLitePruner(lenet_copy, *calibration, quick_config())
+        result = agent.run()
+        removed = agent.apply(result)
+        after = profile_model(lenet_copy, (3, 12, 12))
+        assert removed > 0
+        assert after.flops < before.flops
+
+    def test_deterministic_under_seed(self, lenet_copy, calibration):
+        r1 = AMCLitePruner(lenet_copy, *calibration,
+                           quick_config(seed=4)).run()
+        r2 = AMCLitePruner(lenet_copy, *calibration,
+                           quick_config(seed=4)).run()
+        assert r1.keep_counts == r2.keep_counts
+        assert r1.reward_history == r2.reward_history
+
+    def test_skip_last_default(self, lenet_copy, calibration):
+        agent = AMCLitePruner(lenet_copy, *calibration, quick_config())
+        assert len(agent.units) == 1  # LeNet: conv2 is protected
+
+    def test_include_last(self, lenet_copy, calibration):
+        agent = AMCLitePruner(lenet_copy, *calibration, quick_config(),
+                              skip_last=False)
+        assert len(agent.units) == 2
+
+    def test_best_accuracy_matches_history(self, lenet_copy, calibration):
+        result = AMCLitePruner(lenet_copy, *calibration,
+                               quick_config()).run()
+        assert np.isclose(result.best_accuracy,
+                          max(result.reward_history))

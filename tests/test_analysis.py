@@ -1,0 +1,117 @@
+"""Unit tests for table rendering and experiment records."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExperimentRecord, Table
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["NAME", "ACC"], title="Demo")
+        table.add_row(["vgg16", 0.77])
+        table.add_row(["resnet110-longname", 0.747])
+        text = table.render()
+        assert "Demo" in text
+        assert "vgg16" in text
+        lines = text.splitlines()
+        assert len(lines) == 2 + 1 + 2  # title, header, rule, 2 rows
+
+    def test_float_formatting(self):
+        table = Table(["X"])
+        table.add_row([0.123456])
+        assert "0.12" in table.render()
+
+    def test_none_renders_slash(self):
+        table = Table(["X"])
+        table.add_row([None])
+        assert "/" in table.render()  # paper's Table 1 convention
+
+    def test_row_length_validated(self):
+        table = Table(["A", "B"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_markdown(self):
+        table = Table(["A", "B"], title="T")
+        table.add_row([1, 2])
+        md = table.render_markdown()
+        assert "| A | B |" in md
+        assert "| 1 | 2 |" in md
+
+    def test_str(self):
+        table = Table(["A"])
+        table.add_row(["x"])
+        assert str(table) == table.render()
+
+
+class TestExperimentRecord:
+    def test_checks(self):
+        record = ExperimentRecord("table2", "VGG CUB results")
+        assert record.all_checks_passed  # vacuous
+        record.check("headstart_beats_li17", True)
+        record.check("beats_from_scratch", False)
+        assert not record.all_checks_passed
+
+    def test_save_load_roundtrip(self, tmp_path):
+        record = ExperimentRecord(
+            "figure6", "fps",
+            parameters={"device": "tx2"},
+            results={"speedup": 2.25, "series": np.array([1.0, 2.0])})
+        record.check("pruned_faster", True)
+        path = record.save(tmp_path / "runs" / "figure6.json")
+        loaded = ExperimentRecord.load(path)
+        assert loaded.experiment == "figure6"
+        assert loaded.parameters == {"device": "tx2"}
+        assert loaded.results["series"] == [1.0, 2.0]
+        assert loaded.shape_checks == {"pruned_faster": True}
+
+    def test_numpy_scalars_serialise(self, tmp_path):
+        record = ExperimentRecord("t", "d",
+                                  results={"x": np.float64(1.5),
+                                           "n": np.int64(3)})
+        path = record.save(tmp_path / "r.json")
+        loaded = ExperimentRecord.load(path)
+        assert loaded.results == {"x": 1.5, "n": 3}
+
+    def test_unserialisable_raises(self, tmp_path):
+        record = ExperimentRecord("t", "d", results={"f": object()})
+        with pytest.raises(TypeError):
+            record.to_json()
+
+
+class TestReport:
+    def make_results_dir(self, tmp_path):
+        record = ExperimentRecord("table2", "VGG CUB",
+                                  parameters={"speedup": 2.0},
+                                  results={"HEADSTART": {"accuracy": 0.9}})
+        record.check("headstart_beats_li17", True)
+        record.save(tmp_path / "table2.json")
+        other = ExperimentRecord("custom_extra", "extra experiment")
+        other.save(tmp_path / "custom_extra.json")
+        return tmp_path
+
+    def test_render_contains_sections_and_checks(self, tmp_path):
+        from repro.analysis import render_experiments_markdown
+        text = render_experiments_markdown(self.make_results_dir(tmp_path))
+        assert "# EXPERIMENTS" in text
+        assert "table2: VGG CUB" in text
+        assert "headstart_beats_li17 | PASS" in text
+        assert "custom_extra" in text  # unknown records still rendered
+
+    def test_paper_note_included(self, tmp_path):
+        from repro.analysis import render_experiments_markdown
+        text = render_experiments_markdown(self.make_results_dir(tmp_path))
+        assert "76.23" in text  # the paper's Table 2 reference values
+
+    def test_write_roundtrip(self, tmp_path):
+        from repro.analysis import write_experiments_markdown
+        out = write_experiments_markdown(self.make_results_dir(tmp_path),
+                                         tmp_path / "EXPERIMENTS.md")
+        assert out.read_text().startswith("# EXPERIMENTS")
+
+    def test_empty_dir(self, tmp_path):
+        from repro.analysis import render_experiments_markdown
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert "no records found" in render_experiments_markdown(empty)

@@ -1,0 +1,117 @@
+"""Unit tests for block-level HeadStart on ResNets."""
+
+import numpy as np
+import pytest
+
+from repro.core import BlockHeadStart, HeadStartConfig, bypass_blocks
+from repro.nn import Tensor, no_grad
+from repro.models import ResNet
+from repro.training import evaluate
+
+
+def quick_config(**overrides):
+    defaults = dict(speedup=2.0, max_iterations=10, min_iterations=4,
+                    patience=4, eval_batch=32, seed=0, mc_samples=2)
+    defaults.update(overrides)
+    return HeadStartConfig(**defaults)
+
+
+class TestBypassBlocks:
+    def test_bypass_matches_rebuild(self, resnet_copy, rng):
+        droppable = resnet_copy.droppable_blocks()
+        action = np.zeros(len(droppable))
+        action[::2] = 1.0
+        x = rng.normal(size=(2, 3, 12, 12)).astype(np.float32)
+        resnet_copy.eval()
+        with bypass_blocks(resnet_copy, droppable, action), no_grad():
+            bypassed = resnet_copy(Tensor(x)).data.copy()
+        agent = BlockHeadStart.__new__(BlockHeadStart)
+        agent.model = resnet_copy
+        agent.droppable = droppable
+        keep = agent.keep_mask_by_group(action)
+        rebuilt = resnet_copy.with_blocks(keep, rng=np.random.default_rng(0))
+        rebuilt.eval()
+        with no_grad():
+            physical = rebuilt(Tensor(x)).data
+        assert np.allclose(bypassed, physical, atol=1e-4)
+
+    def test_bypass_restores_forward(self, resnet_copy, rng):
+        droppable = resnet_copy.droppable_blocks()
+        x = rng.normal(size=(1, 3, 12, 12)).astype(np.float32)
+        resnet_copy.eval()
+        with no_grad():
+            before = resnet_copy(Tensor(x)).data.copy()
+        with bypass_blocks(resnet_copy, droppable,
+                           np.zeros(len(droppable))):
+            pass
+        with no_grad():
+            after = resnet_copy(Tensor(x)).data
+        assert np.array_equal(before, after)
+
+    def test_keep_all_is_identity(self, resnet_copy, rng):
+        droppable = resnet_copy.droppable_blocks()
+        x = rng.normal(size=(1, 3, 12, 12)).astype(np.float32)
+        resnet_copy.eval()
+        with no_grad():
+            before = resnet_copy(Tensor(x)).data.copy()
+        with bypass_blocks(resnet_copy, droppable,
+                           np.ones(len(droppable))), no_grad():
+            during = resnet_copy(Tensor(x)).data
+        assert np.array_equal(before, during)
+
+
+class TestBlockHeadStart:
+    def test_run_produces_valid_pattern(self, resnet_copy, calibration):
+        agent = BlockHeadStart(resnet_copy, *calibration, quick_config())
+        result = agent.run()
+        assert result.keep_action.shape == (len(agent.droppable),)
+        assert all(1 <= n <= 3 for n in result.blocks_per_group)
+        assert len(result.reward_history) == result.iterations
+
+    def test_apply_builds_pruned_resnet(self, resnet_copy, calibration):
+        agent = BlockHeadStart(resnet_copy, *calibration, quick_config())
+        result = agent.run()
+        pruned = agent.apply(result)
+        assert isinstance(pruned, ResNet)
+        assert pruned.blocks_per_group == result.blocks_per_group
+        assert sum(pruned.blocks_per_group) <= sum(resnet_copy.blocks_per_group)
+
+    def test_sparsity_near_block_target(self, resnet_copy, calibration):
+        config = quick_config(speedup=2.0, max_iterations=15,
+                              min_iterations=10)
+        agent = BlockHeadStart(resnet_copy, *calibration, config)
+        result = agent.run()
+        total = sum(resnet_copy.blocks_per_group)
+        kept = sum(result.blocks_per_group)
+        assert abs(kept - total / 2) <= 2.5
+
+    def test_model_unchanged_after_run(self, resnet_copy, calibration,
+                                       tiny_task):
+        before = evaluate(resnet_copy, tiny_task.test.images,
+                          tiny_task.test.labels)
+        BlockHeadStart(resnet_copy, *calibration, quick_config()).run()
+        after = evaluate(resnet_copy, tiny_task.test.images,
+                         tiny_task.test.labels)
+        assert before == after
+
+    def test_transition_blocks_always_kept(self, resnet_copy, calibration):
+        agent = BlockHeadStart(resnet_copy, *calibration, quick_config())
+        result = agent.run()
+        keep = agent.keep_mask_by_group(result.keep_action)
+        assert keep[1][0] and keep[2][0]  # group 2/3 transitions survive
+
+    def test_rejects_model_without_droppable_blocks(self, calibration):
+        model = ResNet((1, 1, 1), num_classes=6, width_multiplier=0.25,
+                       rng=np.random.default_rng(0))
+        droppable = model.droppable_blocks()
+        if droppable:  # group 1's single block is droppable by design
+            pytest.skip("model still has droppable blocks")
+        with pytest.raises(ValueError):
+            BlockHeadStart(model, *calibration, quick_config())
+
+    def test_deterministic_under_seed(self, resnet_copy, calibration):
+        r1 = BlockHeadStart(resnet_copy, *calibration,
+                            quick_config(seed=4)).run()
+        r2 = BlockHeadStart(resnet_copy, *calibration,
+                            quick_config(seed=4)).run()
+        assert np.array_equal(r1.keep_action, r2.keep_action)

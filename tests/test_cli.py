@@ -1,0 +1,100 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.model == "vgg16"
+        assert args.dataset == "cifar"
+        assert args.epochs == 8
+
+    def test_prune_modes(self):
+        args = build_parser().parse_args(["prune", "--mode", "block"])
+        assert args.mode == "block"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["prune", "--mode", "magic"])
+
+    def test_fps_device_choices(self):
+        args = build_parser().parse_args(["fps", "--device", "tx2_gpu"])
+        assert args.device == "tx2_gpu"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fps", "--device", "tpu"])
+
+
+class TestCommands:
+    def test_profile_runs(self, capsys):
+        assert main(["profile", "--model", "lenet", "--classes", "4",
+                     "--image-size", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "total:" in out
+        assert "Conv2d" in out
+
+    def test_fps_runs(self, capsys):
+        assert main(["fps", "--model", "lenet", "--classes", "4",
+                     "--image-size", "12", "--device", "gtx1080ti"]) == 0
+        assert "GTX 1080Ti" in capsys.readouterr().out
+
+    def test_train_writes_checkpoint(self, tmp_path, capsys):
+        out = tmp_path / "lenet.npz"
+        code = main(["train", "--model", "lenet", "--classes", "4",
+                     "--image-size", "12", "--train-per-class", "6",
+                     "--test-per-class", "3", "--epochs", "1",
+                     "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "final test accuracy" in capsys.readouterr().out
+
+    def test_prune_layer_mode(self, tmp_path, capsys):
+        code = main(["prune", "--model", "lenet", "--classes", "4",
+                     "--image-size", "12", "--train-per-class", "6",
+                     "--test-per-class", "3", "--epochs", "1",
+                     "--iterations", "6", "--finetune-epochs", "1",
+                     "--eval-batch", "16",
+                     "--out", str(tmp_path / "pruned.npz")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pruned accuracy" in out
+        assert (tmp_path / "pruned.npz").exists()
+
+    def test_prune_block_mode_requires_resnet(self, capsys):
+        code = main(["prune", "--model", "lenet", "--classes", "4",
+                     "--image-size", "12", "--mode", "block",
+                     "--train-per-class", "4", "--test-per-class", "2",
+                     "--epochs", "1"])
+        assert code == 2
+
+    def test_prune_block_mode_on_resnet(self, tmp_path, capsys):
+        code = main(["prune", "--model", "resnet20", "--classes", "4",
+                     "--image-size", "12", "--width", "0.25",
+                     "--mode", "block", "--train-per-class", "6",
+                     "--test-per-class", "3", "--epochs", "1",
+                     "--iterations", "6", "--finetune-epochs", "1",
+                     "--eval-batch", "16"])
+        assert code == 0
+        assert "learnt block pattern" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_generates_markdown(self, tmp_path, capsys):
+        from repro.analysis import ExperimentRecord
+        results = tmp_path / "results"
+        ExperimentRecord("figure6", "fps").save(results / "figure6.json")
+        out = tmp_path / "EXPERIMENTS.md"
+        assert main(["report", "--results", str(results),
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        assert "figure6" in out.read_text()
+
+    def test_fps_includes_energy_column(self, capsys):
+        assert main(["fps", "--model", "lenet", "--classes", "4",
+                     "--image-size", "12", "--device", "tx2_gpu"]) == 0
+        assert "J/IMAGE" in capsys.readouterr().out

@@ -1,0 +1,88 @@
+"""Unit tests for knowledge-distillation fine-tuning."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import DistillConfig, distill_finetune, distillation_loss
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.pruning import prune_unit
+from repro.training import evaluate_dataset
+
+
+class TestDistillConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistillConfig(temperature=0.0)
+        with pytest.raises(ValueError):
+            DistillConfig(alpha=1.5)
+
+
+class TestDistillationLoss:
+    def test_alpha_zero_is_plain_ce(self, rng):
+        logits = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        labels = rng.integers(0, 5, 4)
+        teacher = rng.normal(size=(4, 5))
+        kd = distillation_loss(logits, teacher, labels, alpha=0.0)
+        ce = F.cross_entropy(Tensor(logits.data), labels)
+        assert np.isclose(kd.item(), ce.item())
+
+    def test_matching_teacher_minimises_soft_term(self, rng):
+        teacher = rng.normal(size=(4, 5))
+        labels = teacher.argmax(axis=1)
+        matching = Tensor(teacher.copy(), requires_grad=True)
+        mismatched = Tensor(-teacher, requires_grad=True)
+        low = distillation_loss(matching, teacher, labels, alpha=1.0)
+        high = distillation_loss(mismatched, teacher, labels, alpha=1.0)
+        assert low.item() < high.item()
+
+    def test_gradient_flows_to_student_only(self, rng):
+        logits = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        labels = rng.integers(0, 4, 3)
+        loss = distillation_loss(logits, rng.normal(size=(3, 4)), labels)
+        loss.backward()
+        assert logits.grad is not None
+
+    def test_temperature_scales_softness(self, rng):
+        teacher = rng.normal(size=(6, 4)) * 5
+        labels = rng.integers(0, 4, 6)
+        student = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        cold = distillation_loss(student, teacher, labels,
+                                 temperature=1.0, alpha=1.0)
+        hot = distillation_loss(student, teacher, labels,
+                                temperature=10.0, alpha=1.0)
+        assert np.isfinite(cold.item()) and np.isfinite(hot.item())
+
+
+class TestDistillFinetune:
+    def test_recovers_pruned_model(self, trained_lenet, tiny_task):
+        teacher = trained_lenet
+        student = copy.deepcopy(trained_lenet)
+        unit = student.prune_units()[0]
+        mask = np.zeros(unit.num_maps, dtype=bool)
+        mask[: max(1, unit.num_maps // 2)] = True
+        prune_unit(unit, mask)
+        before = evaluate_dataset(student, tiny_task.test)
+        history = distill_finetune(
+            student, teacher, tiny_task.train, tiny_task.test,
+            DistillConfig(epochs=3, batch_size=24, lr=0.02, seed=0))
+        assert history.final_test_accuracy >= before - 0.05
+        assert len(history.train_loss) == 3
+
+    def test_teacher_untouched(self, trained_lenet, tiny_task):
+        teacher_state = trained_lenet.state_dict()
+        student = copy.deepcopy(trained_lenet)
+        distill_finetune(student, trained_lenet, tiny_task.train, None,
+                         DistillConfig(epochs=1, batch_size=24, seed=0))
+        for key, value in trained_lenet.state_dict().items():
+            assert np.allclose(teacher_state[key], value), key
+
+    def test_teacher_mode_restored(self, trained_lenet, tiny_task):
+        student = copy.deepcopy(trained_lenet)
+        trained_lenet.train()
+        distill_finetune(student, trained_lenet, tiny_task.train, None,
+                         DistillConfig(epochs=1, batch_size=24, seed=0))
+        assert trained_lenet.training
+        trained_lenet.eval()

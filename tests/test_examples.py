@@ -1,0 +1,46 @@
+"""Smoke tests: every example script imports cleanly and exposes main().
+
+Full example runs take minutes; importing them catches broken imports,
+renamed APIs and syntax errors cheaply (all examples guard execution
+behind ``if __name__ == "__main__"``).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.stem for path in EXAMPLES}
+        assert "quickstart" in names
+        assert len(EXAMPLES) >= 3  # the deliverable minimum
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_example_imports_and_has_main(self, path):
+        module = load_example(path)
+        assert callable(getattr(module, "main", None)), \
+            f"{path.name} must define main()"
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_example_has_docstring_with_run_instructions(self, path):
+        module = load_example(path)
+        assert module.__doc__, f"{path.name} needs a module docstring"
+        assert "python examples/" in module.__doc__

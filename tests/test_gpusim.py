@@ -1,0 +1,171 @@
+"""Unit tests for the GPGPU latency model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (CORTEX_A57, DEVICES, GTX_1080TI, TX2_GPU,
+                          XEON_E5_2620, DeviceSpec, available_devices,
+                          estimate_fps, estimate_latency, get_device,
+                          layer_latency, speedup_over)
+from repro.models import VGG, ResNet, lenet
+from repro.pruning import profile_model
+from repro.pruning.stats import LayerStats
+
+
+class TestDeviceSpec:
+    def test_registry(self):
+        assert set(available_devices()) == set(DEVICES)
+        assert get_device("gtx1080ti") is GTX_1080TI
+
+    def test_unknown_device(self):
+        with pytest.raises(ValueError):
+            get_device("tpu")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("x", "gpu", peak_macs=0, bandwidth=1,
+                       overhead_s=0, saturation_macs=0)
+        with pytest.raises(ValueError):
+            DeviceSpec("x", "gpu", peak_macs=1, bandwidth=1,
+                       overhead_s=-1, saturation_macs=0)
+
+    def test_utilisation_monotone_in_work(self):
+        values = [GTX_1080TI.utilisation(m) for m in (1e5, 1e7, 1e9, 1e11)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+        assert values[-1] < 1.0
+
+    def test_utilisation_channel_term(self):
+        thin = TX2_GPU.utilisation(1e9, channels=8)
+        wide = TX2_GPU.utilisation(1e9, channels=512)
+        assert thin < wide
+
+    def test_zero_saturation_is_full_utilisation(self):
+        dev = DeviceSpec("x", "gpu", peak_macs=1e9, bandwidth=1e9,
+                         overhead_s=0, saturation_macs=0)
+        assert dev.utilisation(1.0) == 1.0
+
+    def test_device_ordering(self):
+        # Cloud GPU > edge GPU > server CPU > mobile CPU in raw throughput.
+        assert GTX_1080TI.peak_macs > TX2_GPU.peak_macs \
+            > XEON_E5_2620.peak_macs > CORTEX_A57.peak_macs
+
+
+class TestLayerLatency:
+    def make_stats(self, flops=1e6, channels=64):
+        return LayerStats(name="conv", kind="Conv2d",
+                          input_shape=(1, 3, 8, 8),
+                          output_shape=(1, channels, 8, 8),
+                          params=1000, flops=int(flops))
+
+    def test_positive_and_decomposed(self):
+        lat = layer_latency(self.make_stats(), GTX_1080TI)
+        assert lat.compute_s > 0
+        assert lat.memory_s > 0
+        assert lat.total_s >= max(lat.compute_s, lat.memory_s)
+
+    def test_bound_classification(self):
+        compute_heavy = layer_latency(self.make_stats(flops=1e10), GTX_1080TI)
+        assert compute_heavy.bound == "compute"
+        memory_heavy = layer_latency(self.make_stats(flops=0), GTX_1080TI)
+        assert memory_heavy.bound == "memory"
+
+    def test_batch_scales_work(self):
+        single = layer_latency(self.make_stats(flops=1e9), GTX_1080TI, 1)
+        batched = layer_latency(self.make_stats(flops=1e9), GTX_1080TI, 8)
+        assert batched.compute_s > single.compute_s
+
+
+class TestModelLatency:
+    def model(self):
+        return lenet(num_classes=6, input_size=12,
+                     rng=np.random.default_rng(0))
+
+    def test_report_totals(self):
+        report = estimate_latency(self.model(), (3, 12, 12), TX2_GPU)
+        assert report.latency_s > 0
+        assert report.fps == pytest.approx(1.0 / report.latency_s)
+        assert len(report.layers) > 0
+
+    def test_accepts_pretraced_stats(self):
+        stats = profile_model(self.model(), (3, 12, 12))
+        a = estimate_fps(stats, (3, 12, 12), TX2_GPU)
+        b = estimate_fps(self.model(), (3, 12, 12), TX2_GPU)
+        assert np.isclose(a, b)
+
+    def test_batching_amortises_overhead(self):
+        model = self.model()
+        fps1 = estimate_fps(model, (3, 12, 12), GTX_1080TI, batch_size=1)
+        fps32 = estimate_fps(model, (3, 12, 12), GTX_1080TI, batch_size=32)
+        assert fps32 > fps1
+
+    def test_bigger_model_is_slower(self):
+        small = VGG([[8], [8]], num_classes=6, input_size=16,
+                    rng=np.random.default_rng(0))
+        big = VGG([[64, 64], [64, 64]], num_classes=6, input_size=16,
+                  rng=np.random.default_rng(0))
+        assert estimate_fps(small, (3, 16, 16), CORTEX_A57) > \
+            estimate_fps(big, (3, 16, 16), CORTEX_A57)
+
+
+class TestPaperShapes:
+    """The Figure 6 qualitative claims the model must reproduce."""
+
+    ORIG = [[64, 64], [128, 128], [256, 256, 256],
+            [512, 512, 512], [512, 512, 512]]
+    SP2 = [[32, 32], [64, 64], [128, 128, 128],
+           [256, 256, 256], [256, 256, 512]]
+    SP5 = [[13, 13], [26, 26], [51, 51, 51],
+           [102, 102, 102], [102, 102, 512]]
+
+    def vgg(self, plan, classes, size):
+        return profile_model(
+            VGG(plan, num_classes=classes, input_size=size,
+                rng=np.random.default_rng(0)), (3, size, size))
+
+    def test_pruning_never_slows_down_on_gpus(self):
+        for device in (GTX_1080TI, TX2_GPU):
+            for plan, classes, size in ((self.SP2, 200, 224),
+                                        (self.SP5, 100, 32)):
+                ratio = speedup_over(self.vgg(plan, classes, size),
+                                     self.vgg(self.ORIG, classes, size),
+                                     (3, size, size), device)
+                assert ratio >= 1.0, device.name
+
+    def test_1080ti_starved_at_cifar_scale(self):
+        """Paper: 1.03x on 1080Ti at CIFAR scale — near-zero benefit."""
+        ratio = speedup_over(self.vgg(self.SP5, 100, 32),
+                             self.vgg(self.ORIG, 100, 32),
+                             (3, 32, 32), GTX_1080TI)
+        assert ratio < 1.3
+
+    def test_tx2_benefits_at_cifar_scale(self):
+        """Paper: 2.00x on TX2 at CIFAR scale."""
+        ratio = speedup_over(self.vgg(self.SP5, 100, 32),
+                             self.vgg(self.ORIG, 100, 32),
+                             (3, 32, 32), TX2_GPU)
+        assert 1.5 < ratio < 2.6
+
+    def test_1080ti_benefits_at_cub_scale(self):
+        """Paper: 1.79x on 1080Ti at CUB scale."""
+        ratio = speedup_over(self.vgg(self.SP2, 200, 224),
+                             self.vgg(self.ORIG, 200, 224),
+                             (3, 224, 224), GTX_1080TI)
+        assert 1.4 < ratio < 2.2
+
+    def test_resnet_block_pruning_speedup(self):
+        """Paper: ~1.9x for ResNet-110 -> <10,10,7> on both GPUs."""
+        orig = profile_model(ResNet((18, 18, 18), num_classes=100,
+                                    rng=np.random.default_rng(0)), (3, 32, 32))
+        pruned = profile_model(ResNet((10, 10, 7), num_classes=100,
+                                      rng=np.random.default_rng(0)), (3, 32, 32))
+        for device in (GTX_1080TI, TX2_GPU):
+            ratio = speedup_over(pruned, orig, (3, 32, 32), device)
+            assert 1.6 < ratio < 2.2, device.name
+
+    def test_cpus_gain_more_than_1_3(self):
+        """Paper: 'more than 1.5x fps improvement on the CPUs'."""
+        for device in (XEON_E5_2620, CORTEX_A57):
+            ratio = speedup_over(self.vgg(self.SP2, 200, 224),
+                                 self.vgg(self.ORIG, 200, 224),
+                                 (3, 224, 224), device)
+            assert ratio > 1.3, device.name

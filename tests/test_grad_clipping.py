@@ -1,0 +1,45 @@
+"""Unit tests for gradient clipping."""
+
+import numpy as np
+
+from repro.nn import Parameter
+from repro.training import clip_grad_norm
+
+
+class TestClipGradNorm:
+    def make_params(self, grads):
+        params = []
+        for g in grads:
+            p = Parameter(np.zeros_like(np.asarray(g, dtype=np.float64)))
+            p.grad = np.asarray(g, dtype=np.float64)
+            params.append(p)
+        return params
+
+    def test_returns_total_norm(self):
+        params = self.make_params([[3.0], [4.0]])
+        assert np.isclose(clip_grad_norm(params, 100.0), 5.0)
+
+    def test_no_clip_below_threshold(self):
+        params = self.make_params([[3.0], [4.0]])
+        clip_grad_norm(params, 10.0)
+        assert np.isclose(params[0].grad[0], 3.0)
+
+    def test_clips_to_max_norm(self):
+        params = self.make_params([[3.0], [4.0]])
+        clip_grad_norm(params, 1.0)
+        total = np.sqrt(params[0].grad[0] ** 2 + params[1].grad[0] ** 2)
+        assert np.isclose(total, 1.0, rtol=1e-6)
+
+    def test_direction_preserved(self):
+        params = self.make_params([[3.0], [4.0]])
+        clip_grad_norm(params, 1.0)
+        assert np.isclose(params[0].grad[0] / params[1].grad[0], 0.75)
+
+    def test_zero_max_norm_disables(self):
+        params = self.make_params([[30.0]])
+        clip_grad_norm(params, 0.0)
+        assert params[0].grad[0] == 30.0
+
+    def test_skips_gradless_params(self):
+        p = Parameter(np.zeros(2))
+        assert clip_grad_norm([p], 1.0) == 0.0

@@ -1,0 +1,57 @@
+"""Unit tests for weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFanComputation:
+    def test_linear_shape(self):
+        weights = init.kaiming_normal((64, 128), np.random.default_rng(0))
+        assert weights.shape == (64, 128)
+        # He-normal std = sqrt(2 / fan_in); fan_in = 128.
+        assert abs(weights.std() - np.sqrt(2.0 / 128)) < 0.02
+
+    def test_conv_shape(self):
+        weights = init.kaiming_normal((32, 16, 3, 3),
+                                      np.random.default_rng(0))
+        fan_in = 16 * 9
+        assert abs(weights.std() - np.sqrt(2.0 / fan_in)) < 0.02
+
+    def test_unsupported_shape_raises(self):
+        with pytest.raises(ValueError):
+            init.kaiming_normal((4,), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            init.kaiming_normal((4, 4, 4), np.random.default_rng(0))
+
+
+class TestDistributions:
+    def test_kaiming_uniform_bounds(self):
+        weights = init.kaiming_uniform((8, 50), np.random.default_rng(0))
+        bound = np.sqrt(6.0 / 50)
+        assert weights.min() >= -bound
+        assert weights.max() <= bound
+
+    def test_xavier_uniform_bounds(self):
+        weights = init.xavier_uniform((10, 20), np.random.default_rng(0))
+        bound = np.sqrt(6.0 / 30)
+        assert np.abs(weights).max() <= bound
+
+    def test_zeros_and_ones(self):
+        assert np.all(init.zeros((3, 3)) == 0)
+        assert np.all(init.ones((4,)) == 1)
+
+    def test_dtype_default_float32(self):
+        assert init.kaiming_normal((4, 4),
+                                   np.random.default_rng(0)).dtype == np.float32
+        assert init.zeros((2,)).dtype == np.float32
+
+    def test_deterministic_under_seed(self):
+        a = init.kaiming_normal((4, 4), np.random.default_rng(7))
+        b = init.kaiming_normal((4, 4), np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_mean_near_zero(self):
+        weights = init.kaiming_normal((100, 100), np.random.default_rng(0))
+        assert abs(weights.mean()) < 0.01

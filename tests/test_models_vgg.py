@@ -1,0 +1,111 @@
+"""Unit tests for the VGG family."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, Linear, Tensor, no_grad
+from repro.models import VGG, VGG_PLANS, vgg11, vgg16
+from repro.pruning import profile_model
+
+
+def make(plan="vgg16", **kwargs):
+    kwargs.setdefault("rng", np.random.default_rng(0))
+    return VGG(plan, **kwargs)
+
+
+class TestConstruction:
+    def test_vgg16_has_13_convs(self):
+        model = make(num_classes=10, input_size=32, width_multiplier=0.125)
+        assert len(model.conv_names()) == 13
+        assert model.conv_names()[0] == "conv1_1"
+        assert model.conv_names()[-1] == "conv5_3"
+
+    def test_unknown_plan_raises(self):
+        with pytest.raises(ValueError):
+            make("vgg99")
+
+    def test_explicit_plan(self):
+        model = make([[4], [8]], num_classes=3, input_size=8)
+        assert model.conv_names() == ["conv1_1", "conv2_1"]
+
+    def test_width_multiplier_scales_channels(self):
+        model = make(num_classes=10, input_size=32, width_multiplier=0.5)
+        assert model.plan[0][0] == 32
+        assert model.plan[-1][-1] == 256
+
+    def test_width_multiplier_floors_at_one(self):
+        model = make([[2], [2]], num_classes=2, input_size=8,
+                     width_multiplier=0.01)
+        assert model.plan == [[1], [1]]
+
+    def test_small_input_skips_late_pools(self):
+        # 8x8 input can only pool 3 times; the model must stay valid.
+        model = make(num_classes=5, input_size=8, width_multiplier=0.125)
+        assert model.final_spatial == 1
+        out = model(Tensor(np.zeros((2, 3, 8, 8), dtype=np.float32)))
+        assert out.shape == (2, 5)
+
+    def test_forward_shape_32(self):
+        model = make(num_classes=7, input_size=32, width_multiplier=0.125)
+        with no_grad():
+            out = model(Tensor(np.zeros((3, 3, 32, 32), dtype=np.float32)))
+        assert out.shape == (3, 7)
+
+    def test_all_plans_construct(self):
+        for name in VGG_PLANS:
+            model = make(name, num_classes=4, input_size=16,
+                         width_multiplier=0.0625)
+            assert len(model.conv_names()) == sum(len(s) for s in VGG_PLANS[name])
+
+
+class TestPaperGeometry:
+    def test_cifar100_params_and_flops(self):
+        """Must match the paper's Table 3: 14.77 M params, 0.314 B FLOPs."""
+        model = make(num_classes=100, input_size=32)
+        stats = profile_model(model, (3, 32, 32))
+        assert abs(stats.params_m - 14.77) < 0.05
+        assert abs(stats.flops_b - 0.314) < 0.005
+
+    def test_cub200_params_and_flops(self):
+        """Must match the paper's Table 2: 19.74 M params, 15.40 B FLOPs."""
+        model = make(num_classes=200, input_size=224)
+        stats = profile_model(model, (3, 224, 224))
+        assert abs(stats.params_m - 19.74) < 0.05
+        assert abs(stats.flops_b - 15.40) < 0.1
+
+
+class TestPruneUnits:
+    def test_unit_count_and_order(self):
+        model = make(num_classes=5, input_size=16, width_multiplier=0.125)
+        units = model.prune_units()
+        assert [u.name for u in units] == model.conv_names()
+
+    def test_consumers_chain(self):
+        model = make(num_classes=5, input_size=16, width_multiplier=0.125)
+        units = model.prune_units()
+        for first, second in zip(units, units[1:]):
+            consumer = first.consumers[0].module
+            assert isinstance(consumer, Conv2d)
+            assert consumer is second.conv
+
+    def test_last_unit_feeds_classifier(self):
+        model = make(num_classes=5, input_size=16, width_multiplier=0.125)
+        last = model.prune_units()[-1]
+        consumer = last.consumers[0]
+        assert isinstance(consumer.module, Linear)
+        assert consumer.spatial == model.final_spatial ** 2
+
+    def test_units_reference_live_modules(self):
+        model = make(num_classes=5, input_size=16, width_multiplier=0.125)
+        unit = model.prune_units()[0]
+        assert unit.conv is model.features[0]
+
+    def test_vgg11_builder(self):
+        model = vgg11(num_classes=4, input_size=16,
+                      rng=np.random.default_rng(0))
+        assert len(model.conv_names()) == 8
+
+    def test_vgg16_builder(self):
+        model = vgg16(num_classes=4, input_size=16, width_multiplier=0.125,
+                      rng=np.random.default_rng(0))
+        assert len(model.conv_names()) == 13

@@ -1,0 +1,131 @@
+"""Unit tests for optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.nn.optim import SGD, Adam, CosineLR, Optimizer, RMSprop, StepLR
+
+
+def quadratic_param(value=5.0):
+    return Parameter(np.array([value], dtype=np.float64))
+
+
+def minimise(optimizer, param, steps=200):
+    """Drive param toward 0 on f(x) = x^2 (grad = 2x)."""
+    for _ in range(steps):
+        param.grad = 2.0 * param.data
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert abs(minimise(SGD([p], lr=0.1), p)) < 1e-6
+
+    def test_momentum_accelerates(self):
+        plain, mom = quadratic_param(), quadratic_param()
+        sgd = SGD([plain], lr=0.01)
+        sgdm = SGD([mom], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            plain.grad = 2.0 * plain.data
+            mom.grad = 2.0 * mom.data
+            sgd.step()
+            sgdm.step()
+        assert abs(mom.data[0]) < abs(plain.data[0])
+
+    def test_single_step_value(self):
+        p = quadratic_param(1.0)
+        p.grad = np.array([2.0])
+        SGD([p], lr=0.5).step()
+        assert np.isclose(p.data[0], 0.0)
+
+    def test_weight_decay_shrinks_without_gradient_signal(self):
+        p = quadratic_param(1.0)
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_none_grad_skipped(self):
+        p = quadratic_param(3.0)
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == 3.0
+
+    def test_zero_grad(self):
+        p = quadratic_param()
+        p.grad = np.ones(1)
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestRMSprop:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert abs(minimise(RMSprop([p], lr=0.05), p, steps=400)) < 1e-3
+
+    def test_normalises_gradient_scale(self):
+        # Two params with very different gradient scales move similarly.
+        a, b = quadratic_param(1.0), quadratic_param(1.0)
+        opt = RMSprop([a, b], lr=0.01)
+        a.grad = np.array([1e-3])
+        b.grad = np.array([1e3])
+        opt.step()
+        assert np.isclose(1.0 - a.data[0], 1.0 - b.data[0], rtol=1e-2)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert abs(minimise(Adam([p], lr=0.1), p, steps=400)) < 1e-3
+
+    def test_first_step_is_lr_sized(self):
+        p = quadratic_param(1.0)
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([5.0])
+        opt.step()
+        # Bias-corrected first step equals lr regardless of grad magnitude.
+        assert np.isclose(1.0 - p.data[0], 0.1, rtol=1e-6)
+
+
+class TestSchedules:
+    def test_step_lr(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert np.allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_lr_endpoints(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=1.0)
+        sched = CosineLR(opt, total_epochs=10, min_lr=0.0)
+        for _ in range(10):
+            sched.step()
+        assert np.isclose(opt.lr, 0.0, atol=1e-12)
+
+    def test_cosine_lr_monotone_decrease(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=1.0)
+        sched = CosineLR(opt, total_epochs=5)
+        values = []
+        for _ in range(5):
+            sched.step()
+            values.append(opt.lr)
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+
+class TestBase:
+    def test_step_not_implemented(self):
+        p = quadratic_param()
+        with pytest.raises(NotImplementedError):
+            Optimizer([p], lr=0.1).step()

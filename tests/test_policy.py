@@ -1,0 +1,143 @@
+"""Unit tests for the head-start policy network and action machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import (HeadStartConfig, HeadStartNetwork, bernoulli_log_prob,
+                        sample_actions, threshold_action)
+from repro.nn import Tensor
+
+
+class TestHeadStartNetwork:
+    def test_output_shape_and_range(self, rng):
+        policy = HeadStartNetwork(24, rng=np.random.default_rng(0))
+        probs = policy(policy.sample_noise(rng))
+        assert probs.shape == (24,)
+        assert np.all(probs.data > 0) and np.all(probs.data < 1)
+
+    def test_structure_is_three_convs_one_linear(self):
+        """Paper III.A: 3 convolution layers and 1 fully connected layer."""
+        from repro.nn import Conv2d, Linear
+        policy = HeadStartNetwork(8, rng=np.random.default_rng(0))
+        convs = [m for m in policy.modules() if isinstance(m, Conv2d)]
+        linears = [m for m in policy.modules() if isinstance(m, Linear)]
+        assert len(convs) == 3
+        assert len(linears) == 1
+
+    def test_invalid_num_maps(self):
+        with pytest.raises(ValueError):
+            HeadStartNetwork(0)
+
+    def test_noise_is_gaussian_map(self, rng):
+        policy = HeadStartNetwork(4, noise_size=6,
+                                  rng=np.random.default_rng(0))
+        noise = policy.sample_noise(rng)
+        assert noise.shape == (1, 1, 6, 6)
+
+    def test_warm_start_hits_keep_ratio(self, rng):
+        for ratio in (0.2, 0.5, 0.8):
+            policy = HeadStartNetwork(64, keep_ratio=ratio,
+                                      rng=np.random.default_rng(0))
+            probs = policy(policy.sample_noise(rng)).data
+            kept = (probs >= 0.5).mean()
+            assert abs(kept - ratio) < 0.15, ratio
+
+    def test_warm_start_extreme_ratio_clipped(self, rng):
+        policy = HeadStartNetwork(16, keep_ratio=0.001,
+                                  rng=np.random.default_rng(0))
+        probs = policy(policy.sample_noise(rng)).data
+        assert np.all(np.isfinite(probs))
+
+    def test_deterministic_under_seed(self, rng):
+        a = HeadStartNetwork(8, rng=np.random.default_rng(3))
+        b = HeadStartNetwork(8, rng=np.random.default_rng(3))
+        noise = a.sample_noise(np.random.default_rng(0))
+        assert np.allclose(a(noise).data, b(noise).data)
+
+
+class TestSampleActions:
+    def test_shape_and_binary(self, rng):
+        probs = np.full(10, 0.5)
+        actions = sample_actions(probs, 4, rng)
+        assert actions.shape == (4, 10)
+        assert set(np.unique(actions)) <= {0.0, 1.0}
+
+    def test_probability_extremes(self, rng):
+        assert sample_actions(np.ones(6), 2, rng).sum() == 12
+        low = sample_actions(np.full(6, 1e-12), 2, rng)
+        # Empty actions are repaired to keep one map.
+        assert np.all(low.sum(axis=1) == 1)
+
+    def test_respects_probabilities_statistically(self):
+        rng = np.random.default_rng(0)
+        # High enough probabilities that the empty-action repair is rare.
+        probs = np.array([0.9, 0.5, 0.7])
+        actions = sample_actions(probs, 800, rng)
+        assert np.allclose(actions.mean(axis=0), probs, atol=0.06)
+
+
+class TestThresholdAction:
+    def test_eq10_threshold(self):
+        probs = np.array([0.4, 0.5, 0.6])
+        assert np.array_equal(threshold_action(probs, 0.5), [0, 1, 1])
+
+    def test_empty_result_repaired(self):
+        probs = np.array([0.1, 0.3, 0.2])
+        action = threshold_action(probs, 0.5)
+        assert action.sum() == 1
+        assert action[1] == 1  # highest probability kept
+
+
+class TestBernoulliLogProb:
+    def test_matches_manual_computation(self, rng):
+        probs = Tensor(np.array([0.7, 0.2, 0.9]), requires_grad=True)
+        action = np.array([1.0, 0.0, 1.0])
+        log_prob = bernoulli_log_prob(probs, action)
+        expected = np.log(0.7) + np.log(0.8) + np.log(0.9)
+        assert np.isclose(log_prob.item(), expected)
+
+    def test_gradient_direction(self, rng):
+        # Increasing the probability of a taken action raises log-prob.
+        probs = Tensor(np.array([0.5, 0.5]), requires_grad=True)
+        bernoulli_log_prob(probs, np.array([1.0, 0.0])).backward()
+        assert probs.grad[0] > 0   # taken -> push up
+        assert probs.grad[1] < 0   # not taken -> push down
+
+    def test_clipping_avoids_infinities(self):
+        probs = Tensor(np.array([0.0, 1.0]), requires_grad=True)
+        value = bernoulli_log_prob(probs, np.array([1.0, 0.0]))
+        assert np.isfinite(value.item())
+
+
+class TestConfigValidation:
+    def test_defaults_follow_paper(self):
+        config = HeadStartConfig()
+        assert config.threshold == 0.5
+        assert config.mc_samples == 3
+        assert config.weight_decay == 5e-4
+
+    def test_invalid_speedup(self):
+        with pytest.raises(ValueError):
+            HeadStartConfig(speedup=0.5)
+
+    def test_invalid_mc_samples(self):
+        with pytest.raises(ValueError):
+            HeadStartConfig(mc_samples=0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            HeadStartConfig(threshold=0.0)
+        with pytest.raises(ValueError):
+            HeadStartConfig(threshold=1.0)
+
+    def test_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            HeadStartConfig(baseline="magic")
+
+    def test_invalid_optimizer(self):
+        with pytest.raises(ValueError):
+            HeadStartConfig(optimizer="adamw")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            HeadStartConfig().speedup = 3.0

@@ -1,0 +1,79 @@
+"""Unit tests for post-training weight quantization."""
+
+import numpy as np
+import pytest
+
+from repro.pruning import (quantize_weights, quantized_storage_bytes)
+from repro.training import evaluate
+
+
+class TestQuantizeWeights:
+    def test_report_counts(self, lenet_copy):
+        report = quantize_weights(lenet_copy, bits=8)
+        # LeNet: conv1, conv2, two linears.
+        assert report.tensors == 4
+        assert report.quantized_parameters > 0
+        assert report.bits == 8
+        assert np.isclose(report.compression_vs_fp32, 0.25)
+
+    def test_8bit_error_is_small(self, lenet_copy):
+        scale = np.abs(lenet_copy.conv1.weight.data).max()
+        report = quantize_weights(lenet_copy, bits=8)
+        # Max error bounded by half a quantization step of the range.
+        assert report.max_abs_error < scale * 2 / 255 + 1e-6
+
+    def test_lower_bits_larger_error(self, lenet_copy, vgg_copy):
+        import copy
+        a, b = copy.deepcopy(lenet_copy), copy.deepcopy(lenet_copy)
+        fine = quantize_weights(a, bits=8)
+        coarse = quantize_weights(b, bits=2)
+        assert coarse.mean_abs_error > fine.mean_abs_error
+
+    def test_8bit_accuracy_preserved(self, lenet_copy, tiny_task):
+        before = evaluate(lenet_copy, tiny_task.test.images,
+                          tiny_task.test.labels)
+        quantize_weights(lenet_copy, bits=8)
+        after = evaluate(lenet_copy, tiny_task.test.images,
+                         tiny_task.test.labels)
+        assert abs(after - before) < 0.1
+
+    def test_1bit_destroys_little_model_gracefully(self, lenet_copy,
+                                                   tiny_task):
+        quantize_weights(lenet_copy, bits=1)
+        accuracy = evaluate(lenet_copy, tiny_task.test.images,
+                            tiny_task.test.labels)
+        assert 0.0 <= accuracy <= 1.0  # still runs, still finite
+
+    def test_constant_tensor_unchanged(self, lenet_copy):
+        lenet_copy.conv1.weight.data[...] = 0.5
+        quantize_weights(lenet_copy, bits=4)
+        assert np.allclose(lenet_copy.conv1.weight.data, 0.5)
+
+    def test_invalid_bits(self, lenet_copy):
+        with pytest.raises(ValueError):
+            quantize_weights(lenet_copy, bits=0)
+        with pytest.raises(ValueError):
+            quantize_weights(lenet_copy, bits=32)
+
+    def test_idempotent(self, lenet_copy):
+        quantize_weights(lenet_copy, bits=6)
+        snapshot = lenet_copy.conv1.weight.data.copy()
+        quantize_weights(lenet_copy, bits=6)
+        assert np.allclose(lenet_copy.conv1.weight.data, snapshot, atol=1e-6)
+
+
+class TestStorage:
+    def test_8bit_much_smaller_than_fp32(self, lenet_copy):
+        full = quantized_storage_bytes(lenet_copy, bits=16)
+        small = quantized_storage_bytes(lenet_copy, bits=4)
+        assert small < full
+
+    def test_combines_with_pruning(self, lenet_copy):
+        from repro.pruning import prune_unit
+        before = quantized_storage_bytes(lenet_copy, bits=8)
+        unit = lenet_copy.prune_units()[0]
+        mask = np.zeros(unit.num_maps, dtype=bool)
+        mask[:2] = True
+        prune_unit(unit, mask)
+        after = quantized_storage_bytes(lenet_copy, bits=8)
+        assert after < before

@@ -1,0 +1,76 @@
+"""Unit tests for the HeadStart reward (paper Eq. 2-4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import acc_term, reward, spd_term
+
+
+class TestAccTerm:
+    def test_equal_accuracy_gives_log2(self):
+        assert np.isclose(acc_term(0.8, 0.8), math.log(2.0))
+
+    def test_higher_pruned_accuracy_scores_higher(self):
+        assert acc_term(0.9, 0.8) > acc_term(0.7, 0.8)
+
+    def test_zero_pruned_accuracy(self):
+        assert np.isclose(acc_term(0.0, 0.8), 0.0)
+
+    def test_zero_original_accuracy_does_not_blow_up(self):
+        value = acc_term(0.5, 0.0)
+        assert np.isfinite(value)
+
+    def test_negative_accuracy_raises(self):
+        with pytest.raises(ValueError):
+            acc_term(-0.1, 0.5)
+        with pytest.raises(ValueError):
+            acc_term(0.1, -0.5)
+
+    def test_monotone_in_pruned_accuracy(self):
+        values = [acc_term(a, 0.5) for a in np.linspace(0, 1, 11)]
+        assert all(x < y for x, y in zip(values, values[1:]))
+
+
+class TestSpdTerm:
+    def test_exact_target_is_zero(self):
+        # 64 maps, 32 kept, sp=2 -> learnt speedup exactly 2.
+        assert spd_term(64, 32, 2.0) == 0.0
+
+    def test_distance_from_target(self):
+        assert np.isclose(spd_term(64, 64, 2.0), 1.0)   # learnt 1, target 2
+        assert np.isclose(spd_term(64, 16, 2.0), 2.0)   # learnt 4, target 2
+
+    def test_symmetric_absolute(self):
+        over = spd_term(60, 15, 3.0)   # learnt 4
+        under = spd_term(60, 30, 3.0)  # learnt 2
+        assert over == under == 1.0
+
+    def test_zero_kept_clamped(self):
+        assert np.isfinite(spd_term(64, 0, 2.0))
+
+    def test_empty_layer_raises(self):
+        with pytest.raises(ValueError):
+            spd_term(0, 1, 2.0)
+
+
+class TestReward:
+    def test_combines_both_terms(self):
+        action = np.array([1] * 32 + [0] * 32)
+        value = reward(0.8, 0.8, action, 2.0)
+        assert np.isclose(value, math.log(2.0))  # SPD term is exactly 0
+
+    def test_off_target_sparsity_penalised(self):
+        on_target = reward(0.8, 0.8, np.array([1] * 32 + [0] * 32), 2.0)
+        off_target = reward(0.8, 0.8, np.array([1] * 64), 2.0)
+        assert on_target > off_target
+
+    def test_accuracy_dominates_at_fixed_sparsity(self):
+        action = np.array([1] * 16 + [0] * 16)
+        assert reward(0.9, 0.9, action, 2.0) > reward(0.1, 0.9, action, 2.0)
+
+    def test_accepts_boolean_action(self):
+        action = np.zeros(10, dtype=bool)
+        action[:5] = True
+        assert np.isfinite(reward(0.5, 0.5, action, 2.0))

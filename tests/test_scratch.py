@@ -1,0 +1,53 @@
+"""Unit tests for from-scratch control models."""
+
+import numpy as np
+
+from repro.core import resnet_like_pruned, vgg_like_pruned
+from repro.models import ResNet, vgg16
+
+
+class TestVggLikePruned:
+    def make_vgg(self):
+        return vgg16(num_classes=6, input_size=12, width_multiplier=0.125,
+                     rng=np.random.default_rng(0))
+
+    def test_widths_follow_masks(self):
+        original = self.make_vgg()
+        masks = {"conv1_1": np.array([True, True, False] +
+                                     [False] * (original.plan[0][0] - 3))}
+        twin = vgg_like_pruned(original, masks,
+                               rng=np.random.default_rng(1))
+        assert twin.plan[0][0] == 2
+        assert twin.plan[0][1] == original.plan[0][1]  # unmasked unchanged
+
+    def test_weights_are_fresh(self):
+        original = self.make_vgg()
+        twin = vgg_like_pruned(original, {}, rng=np.random.default_rng(1))
+        assert twin.plan == original.plan
+        assert not np.allclose(twin.features[0].weight.data,
+                               original.features[0].weight.data)
+
+    def test_geometry_preserved(self):
+        original = self.make_vgg()
+        twin = vgg_like_pruned(original, {}, rng=np.random.default_rng(1))
+        assert twin.num_classes == original.num_classes
+        assert twin.input_size == original.input_size
+
+    def test_width_floors_at_one(self):
+        original = self.make_vgg()
+        masks = {"conv2_1": np.zeros(original.plan[1][0], dtype=bool)}
+        masks["conv2_1"][0] = True
+        twin = vgg_like_pruned(original, masks, rng=np.random.default_rng(1))
+        assert twin.plan[1][0] == 1
+
+
+class TestResnetLikePruned:
+    def test_layout_copied_weights_fresh(self):
+        pruned = ResNet((4, 3, 2), num_classes=5, width_multiplier=0.25,
+                        rng=np.random.default_rng(0))
+        twin = resnet_like_pruned(pruned, rng=np.random.default_rng(1))
+        assert twin.blocks_per_group == (4, 3, 2)
+        assert twin.num_classes == 5
+        assert twin.widths == pruned.widths
+        assert not np.allclose(twin.conv1.weight.data,
+                               pruned.conv1.weight.data)

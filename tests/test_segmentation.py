@@ -1,0 +1,146 @@
+"""Unit/integration tests for the segmentation extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import HeadStartConfig, LayerAgent
+from repro.data import ArrayDataset, SegmentationSpec, make_segmentation_task
+from repro.models import SegNet, segnet
+from repro.nn import Tensor, no_grad
+from repro.nn import functional as F
+from repro.pruning import channel_mask, prune_unit
+from repro.training import TrainConfig, evaluate, fit
+
+
+@pytest.fixture(scope="module")
+def seg_task():
+    return make_segmentation_task(num_classes=3, image_size=12,
+                                  train_images=40, test_images=16, seed=5)
+
+
+@pytest.fixture(scope="module")
+def trained_segnet(seg_task):
+    model = SegNet(num_classes=4, widths=(8, 16, 16),
+                   rng=np.random.default_rng(0))
+    train = ArrayDataset(seg_task.train_images, seg_task.train_labels)
+    fit(model, train, None, TrainConfig(epochs=6, batch_size=16, lr=0.05,
+                                        seed=0))
+    return model
+
+
+class TestSegmentationData:
+    def test_shapes(self, seg_task):
+        assert seg_task.train_images.shape == (40, 3, 12, 12)
+        assert seg_task.train_labels.shape == (40, 12, 12)
+        assert seg_task.train_labels.dtype == np.int64
+
+    def test_label_range(self, seg_task):
+        assert seg_task.train_labels.min() == 0
+        assert seg_task.train_labels.max() <= 3
+
+    def test_foreground_present(self, seg_task):
+        fraction = (seg_task.train_labels > 0).mean()
+        assert 0.05 < fraction < 0.8
+
+    def test_deterministic(self):
+        a = make_segmentation_task(num_classes=2, image_size=10, seed=3)
+        b = make_segmentation_task(num_classes=2, image_size=10, seed=3)
+        assert np.allclose(a.train_images, b.train_images)
+        assert np.array_equal(a.train_labels, b.train_labels)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SegmentationSpec(num_classes=0)
+        with pytest.raises(ValueError):
+            SegmentationSpec(image_size=4)
+        with pytest.raises(ValueError):
+            SegmentationSpec(shapes_per_image=(3, 1))
+
+    def test_array_dataset_returns_dense_labels(self, seg_task):
+        dataset = ArrayDataset(seg_task.train_images, seg_task.train_labels)
+        _, label = dataset[0]
+        assert isinstance(label, np.ndarray)
+        assert label.shape == (12, 12)
+
+
+class TestDenseLoss:
+    def test_dense_cross_entropy_matches_flattened(self, rng):
+        logits = Tensor(rng.normal(size=(2, 4, 3, 3)), requires_grad=True)
+        targets = rng.integers(0, 4, size=(2, 3, 3))
+        dense = F.cross_entropy(logits, targets)
+        flat_logits = Tensor(
+            logits.data.transpose(0, 2, 3, 1).reshape(-1, 4))
+        flat = F.cross_entropy(flat_logits, targets.reshape(-1))
+        assert np.isclose(dense.item(), flat.item())
+
+    def test_dense_gradient_flows(self, rng):
+        logits = Tensor(rng.normal(size=(2, 3, 4, 4)), requires_grad=True)
+        targets = rng.integers(0, 3, size=(2, 4, 4))
+        F.cross_entropy(logits, targets).backward()
+        assert logits.grad is not None
+        assert logits.grad.shape == logits.shape
+
+    def test_evaluate_counts_pixels(self, trained_segnet, seg_task):
+        accuracy = evaluate(trained_segnet, seg_task.test_images,
+                            seg_task.test_labels)
+        assert 0.0 <= accuracy <= 1.0
+
+
+class TestSegNet:
+    def test_output_shape(self):
+        model = segnet(num_classes=5, rng=np.random.default_rng(0))
+        with no_grad():
+            out = model(Tensor(np.zeros((2, 3, 12, 12), dtype=np.float32)))
+        assert out.shape == (2, 5, 12, 12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SegNet(num_classes=1)
+        with pytest.raises(ValueError):
+            SegNet(num_classes=3, widths=())
+
+    def test_learns_above_background(self, trained_segnet, seg_task):
+        accuracy = evaluate(trained_segnet, seg_task.test_images,
+                            seg_task.test_labels)
+        background = (seg_task.test_labels == 0).mean()
+        assert accuracy > background + 0.02
+
+    def test_prune_units_chain(self):
+        model = SegNet(num_classes=4, widths=(8, 16, 16),
+                       rng=np.random.default_rng(0))
+        units = model.prune_units()
+        assert len(units) == 3
+        assert units[0].consumers[0].module is units[1].conv
+        assert units[-1].consumers[0].module is model.head
+
+
+class TestSegmentationPruning:
+    def test_mask_equals_surgery(self, trained_segnet, seg_task, rng):
+        import copy
+        masked_model = copy.deepcopy(trained_segnet)
+        pruned_model = copy.deepcopy(trained_segnet)
+        mask = rng.random(masked_model.prune_units()[1].num_maps) > 0.5
+        mask[0] = True
+        x = seg_task.test_images[:4]
+        masked_model.eval(), pruned_model.eval()
+        with no_grad():
+            with channel_mask(masked_model.prune_units()[1], mask):
+                a = masked_model(Tensor(x)).data.copy()
+            prune_unit(pruned_model.prune_units()[1], mask)
+            b = pruned_model(Tensor(x)).data
+        assert np.allclose(a, b, atol=1e-5)
+
+    def test_layer_agent_on_segmentation(self, trained_segnet, seg_task):
+        import copy
+        model = copy.deepcopy(trained_segnet)
+        unit = model.prune_units()[1]
+        config = HeadStartConfig(speedup=2.0, max_iterations=10,
+                                 min_iterations=5, patience=4,
+                                 eval_batch=24, seed=0, mc_samples=2)
+        result = LayerAgent(model, unit, seg_task.train_images,
+                            seg_task.train_labels, config).run()
+        assert 1 <= result.kept_maps <= unit.num_maps
+        assert np.isfinite(result.inception_accuracy)
+        # Inception accuracy is a pixel accuracy, so it should stay well
+        # above zero even at half the maps.
+        assert result.inception_accuracy > 0.3

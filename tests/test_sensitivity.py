@@ -1,0 +1,64 @@
+"""Unit tests for the layer-sensitivity analysis."""
+
+import numpy as np
+
+from repro.analysis import (SensitivityCurve, layer_sensitivity,
+                            sensitivity_ranking)
+from repro.pruning.baselines import Li17Pruner, PruningContext
+
+
+class TestSensitivityCurve:
+    def test_sensitivity_is_mean_drop(self):
+        curve = SensitivityCurve("conv1", (2.0, 4.0), (0.6, 0.4),
+                                 reference=0.8)
+        assert np.isclose(curve.sensitivity, ((0.8 - 0.6) + (0.8 - 0.4)) / 2)
+        assert curve.worst_accuracy == 0.4
+
+    def test_ranking_orders_by_sensitivity(self):
+        fragile = SensitivityCurve("a", (2.0,), (0.1,), reference=0.9)
+        robust = SensitivityCurve("b", (2.0,), (0.85,), reference=0.9)
+        assert sensitivity_ranking([robust, fragile]) == ["a", "b"]
+
+
+class TestLayerSensitivity:
+    def test_curves_for_every_layer(self, trained_mini_vgg, tiny_task,
+                                    calibration):
+        context = PruningContext(*calibration, np.random.default_rng(0))
+        curves = layer_sensitivity(
+            trained_mini_vgg, Li17Pruner(), context,
+            tiny_task.test.images, tiny_task.test.labels,
+            speedups=(2.0, 4.0))
+        units = trained_mini_vgg.prune_units()
+        assert len(curves) == len(units) - 1  # last skipped by default
+        for curve in curves:
+            assert len(curve.accuracies) == 2
+            assert all(0.0 <= a <= 1.0 for a in curve.accuracies)
+
+    def test_model_untouched(self, trained_mini_vgg, tiny_task, calibration):
+        from repro.training import evaluate
+        before = evaluate(trained_mini_vgg, tiny_task.test.images,
+                          tiny_task.test.labels)
+        context = PruningContext(*calibration, np.random.default_rng(0))
+        layer_sensitivity(trained_mini_vgg, Li17Pruner(), context,
+                          tiny_task.test.images, tiny_task.test.labels,
+                          speedups=(3.0,))
+        after = evaluate(trained_mini_vgg, tiny_task.test.images,
+                         tiny_task.test.labels)
+        assert before == after
+
+    def test_harder_pruning_hurts_on_average(self, trained_mini_vgg,
+                                             tiny_task, calibration):
+        """Across layers, sp=4 accuracy should not beat sp=1.5 accuracy.
+
+        Per-layer monotonicity is NOT guaranteed (the paper notes that
+        highly-ranked filters are not always the useful ones), so the
+        check aggregates over layers.
+        """
+        context = PruningContext(*calibration, np.random.default_rng(0))
+        curves = layer_sensitivity(
+            trained_mini_vgg, Li17Pruner(), context,
+            tiny_task.test.images, tiny_task.test.labels,
+            speedups=(1.5, 4.0))
+        gentle = np.mean([c.accuracies[0] for c in curves])
+        harsh = np.mean([c.accuracies[1] for c in curves])
+        assert harsh <= gentle + 0.10

@@ -1,0 +1,118 @@
+"""Unit tests for parameter/FLOP accounting."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, Flatten, Linear, ReLU, Sequential
+from repro.models import lenet, vgg16
+from repro.pruning import (ModelStats, compression_ratio, profile_model,
+                           prune_unit)
+
+
+class TestLayerCosts:
+    def test_conv_flops_hand_computed(self):
+        model = Sequential(Conv2d(3, 8, 3, padding=1,
+                                  rng=np.random.default_rng(0)))
+        stats = profile_model(model, (3, 10, 10))
+        conv = stats.layers[0]
+        assert conv.params == 8 * 3 * 3 * 3 + 8
+        assert conv.flops == 8 * 3 * 3 * 3 * 10 * 10
+
+    def test_conv_stride_reduces_flops(self):
+        model = Sequential(Conv2d(2, 4, 3, stride=2, padding=1,
+                                  rng=np.random.default_rng(0)))
+        stats = profile_model(model, (2, 8, 8))
+        assert stats.layers[0].flops == 4 * 2 * 9 * 4 * 4
+
+    def test_linear_costs(self):
+        model = Sequential(Flatten(), Linear(12, 5,
+                                             rng=np.random.default_rng(0)))
+        stats = profile_model(model, (3, 2, 2))
+        linear = stats.layers[0]
+        assert linear.params == 12 * 5 + 5
+        assert linear.flops == 12 * 5
+
+    def test_batchnorm_params_counted(self):
+        model = lenet(num_classes=4, input_size=12,
+                      rng=np.random.default_rng(0))
+        with_bn = profile_model(model, (3, 12, 12)).params
+        without_bn = profile_model(model, (3, 12, 12),
+                                   include_batchnorm=False).params
+        assert with_bn > without_bn
+
+    def test_relu_and_pool_free(self):
+        model = Sequential(Conv2d(1, 2, 3, rng=np.random.default_rng(0)),
+                           ReLU())
+        stats = profile_model(model, (1, 6, 6))
+        assert len(stats.layers) == 1  # only the conv is traced
+
+
+class TestModelStats:
+    def test_aggregation(self):
+        model = lenet(num_classes=4, input_size=12,
+                      rng=np.random.default_rng(0))
+        stats = profile_model(model, (3, 12, 12))
+        assert stats.params == sum(l.params for l in stats.layers)
+        assert stats.flops == sum(l.flops for l in stats.layers)
+        assert np.isclose(stats.params_m, stats.params / 1e6)
+        assert np.isclose(stats.flops_b, stats.flops / 1e9)
+
+    def test_by_name(self):
+        model = lenet(num_classes=4, input_size=12,
+                      rng=np.random.default_rng(0))
+        stats = profile_model(model, (3, 12, 12))
+        assert stats.by_name("conv1").kind == "Conv2d"
+        with pytest.raises(KeyError):
+            stats.by_name("nonexistent")
+
+    def test_params_match_module_count(self):
+        model = lenet(num_classes=4, input_size=12,
+                      rng=np.random.default_rng(0))
+        stats = profile_model(model, (3, 12, 12))
+        assert stats.params == model.num_parameters()
+
+    def test_tracing_leaves_model_untouched(self, rng):
+        from repro.nn import Tensor, no_grad
+        model = lenet(num_classes=4, input_size=12,
+                      rng=np.random.default_rng(0))
+        x = rng.normal(size=(2, 3, 12, 12)).astype(np.float32)
+        model.eval()
+        with no_grad():
+            before = model(Tensor(x)).data.copy()
+        profile_model(model, (3, 12, 12))
+        with no_grad():
+            after = model(Tensor(x)).data
+        assert np.array_equal(before, after)
+        assert not model.training  # mode restored
+
+    def test_training_mode_restored(self):
+        model = lenet(num_classes=4, input_size=12,
+                      rng=np.random.default_rng(0))
+        model.train()
+        profile_model(model, (3, 12, 12))
+        assert model.training
+
+    def test_pruned_model_has_fewer_flops(self):
+        model = vgg16(num_classes=6, input_size=12, width_multiplier=0.125,
+                      rng=np.random.default_rng(0))
+        before = profile_model(model, (3, 12, 12))
+        unit = model.prune_units()[0]
+        mask = np.zeros(unit.num_maps, dtype=bool)
+        mask[0] = True
+        prune_unit(unit, mask)
+        after = profile_model(model, (3, 12, 12))
+        assert after.flops < before.flops
+        assert after.params < before.params
+
+
+class TestCompressionRatio:
+    def test_eq11(self):
+        # Paper Eq. (11): ratio = W'/W; sp=5 -> 20%.
+        assert np.isclose(compression_ratio(2.0, 10.0), 0.2)
+
+    def test_no_pruning(self):
+        assert compression_ratio(7.0, 7.0) == 1.0
+
+    def test_zero_original_raises(self):
+        with pytest.raises(ValueError):
+            compression_ratio(1.0, 0.0)

@@ -1,0 +1,198 @@
+"""Unit tests for pruning surgery: masking and physical removal."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad
+from repro.models import lenet, vgg16
+from repro.pruning import channel_mask, keep_indices, prune_model, prune_unit
+from repro.training import evaluate
+
+
+def fresh_vgg():
+    return vgg16(num_classes=6, input_size=12, width_multiplier=0.125,
+                 rng=np.random.default_rng(3))
+
+
+def forward(model, x):
+    model.eval()
+    with no_grad():
+        return model(Tensor(x)).data.copy()
+
+
+class TestKeepIndices:
+    def test_valid(self):
+        assert np.array_equal(keep_indices(np.array([1, 0, 1])), [0, 2])
+
+    def test_all_false_raises(self):
+        with pytest.raises(ValueError):
+            keep_indices(np.zeros(4))
+
+    def test_2d_raises(self):
+        with pytest.raises(ValueError):
+            keep_indices(np.ones((2, 2)))
+
+
+class TestChannelMask:
+    def test_equivalent_to_physical_pruning(self, rng):
+        x = rng.normal(size=(3, 3, 12, 12)).astype(np.float32)
+        mask = None
+        model_a, model_b = fresh_vgg(), fresh_vgg()
+        unit_a = model_a.prune_units()[3]
+        unit_b = model_b.prune_units()[3]
+        mask = rng.random(unit_a.num_maps) > 0.4
+        mask[0] = True
+        with channel_mask(unit_a, mask):
+            masked = forward(model_a, x)
+        prune_unit(unit_b, mask)
+        pruned = forward(model_b, x)
+        assert np.allclose(masked, pruned, atol=1e-5)
+
+    def test_restores_weights_exactly(self, rng):
+        model = fresh_vgg()
+        unit = model.prune_units()[1]
+        before = {
+            "conv_w": unit.conv.weight.data.copy(),
+            "conv_b": unit.conv.bias.data.copy(),
+            "bn_w": unit.bn.weight.data.copy(),
+            "bn_b": unit.bn.bias.data.copy(),
+            "bn_rm": unit.bn.running_mean.copy(),
+        }
+        mask = np.zeros(unit.num_maps, dtype=bool)
+        mask[0] = True
+        with channel_mask(unit, mask):
+            assert np.allclose(unit.bn.weight.data[1:], 0.0)
+        assert np.array_equal(unit.conv.weight.data, before["conv_w"])
+        assert np.array_equal(unit.conv.bias.data, before["conv_b"])
+        assert np.array_equal(unit.bn.weight.data, before["bn_w"])
+        assert np.array_equal(unit.bn.bias.data, before["bn_b"])
+        assert np.array_equal(unit.bn.running_mean, before["bn_rm"])
+
+    def test_restores_on_exception(self, rng):
+        model = fresh_vgg()
+        unit = model.prune_units()[0]
+        before = unit.conv.weight.data.copy()
+        mask = np.ones(unit.num_maps, dtype=bool)
+        mask[0] = False
+        with pytest.raises(RuntimeError):
+            with channel_mask(unit, mask):
+                raise RuntimeError("boom")
+        assert np.array_equal(unit.conv.weight.data, before)
+
+    def test_wrong_mask_length_raises(self):
+        model = fresh_vgg()
+        unit = model.prune_units()[0]
+        with pytest.raises(ValueError):
+            with channel_mask(unit, np.ones(unit.num_maps + 1)):
+                pass
+
+    def test_masked_maps_output_zero(self, rng):
+        model = lenet(num_classes=4, input_size=12,
+                      rng=np.random.default_rng(0))
+        model.eval()
+        unit = model.prune_units()[0]
+        mask = np.ones(unit.num_maps, dtype=bool)
+        mask[2] = False
+        x = Tensor(rng.normal(size=(2, 3, 12, 12)).astype(np.float32))
+        with channel_mask(unit, mask), no_grad():
+            maps = model.bn1(model.conv1(x))
+        assert np.allclose(maps.data[:, 2], 0.0)
+
+
+class TestPruneUnit:
+    def test_shrinks_conv_bn_and_consumer(self):
+        model = fresh_vgg()
+        units = model.prune_units()
+        unit, successor = units[2], units[3]
+        original_out = unit.num_maps
+        mask = np.zeros(original_out, dtype=bool)
+        mask[:original_out // 2] = True
+        removed = prune_unit(unit, mask)
+        assert removed == original_out - original_out // 2
+        assert unit.conv.out_channels == original_out // 2
+        assert unit.conv.weight.shape[0] == original_out // 2
+        assert unit.bn.num_features == original_out // 2
+        assert unit.bn.running_mean.shape == (original_out // 2,)
+        assert successor.conv.in_channels == original_out // 2
+        assert successor.conv.weight.shape[1] == original_out // 2
+
+    def test_keep_all_is_noop(self):
+        model = fresh_vgg()
+        unit = model.prune_units()[0]
+        before = unit.conv.weight.data.copy()
+        assert prune_unit(unit, np.ones(unit.num_maps, dtype=bool)) == 0
+        assert np.array_equal(unit.conv.weight.data, before)
+
+    def test_kept_weights_preserved(self):
+        model = fresh_vgg()
+        unit = model.prune_units()[0]
+        kept_filter = unit.conv.weight.data[1].copy()
+        mask = np.zeros(unit.num_maps, dtype=bool)
+        mask[1] = True
+        prune_unit(unit, mask)
+        assert np.array_equal(unit.conv.weight.data[0], kept_filter)
+
+    def test_linear_consumer_spatial_blocks(self):
+        model = lenet(num_classes=4, input_size=12,
+                      rng=np.random.default_rng(0))
+        unit = model.prune_units()[1]  # feeds classifier Linear
+        spatial = unit.consumers[0].spatial
+        linear = unit.consumers[0].module
+        kept_cols = linear.weight.data[:, spatial:2 * spatial].copy()
+        mask = np.zeros(unit.num_maps, dtype=bool)
+        mask[1] = True
+        prune_unit(unit, mask)
+        # Only channel 1's block of columns survives, in order.
+        assert linear.in_features == spatial
+        assert np.array_equal(linear.weight.data, kept_cols)
+
+    def test_model_still_works_after_pruning(self, rng):
+        model = fresh_vgg()
+        for unit in model.prune_units()[:-1]:
+            mask = np.zeros(unit.num_maps, dtype=bool)
+            mask[::2] = True
+            prune_unit(unit, mask)
+        x = rng.normal(size=(2, 3, 12, 12)).astype(np.float32)
+        out = forward(model, x)
+        assert out.shape == (2, 6)
+        assert np.all(np.isfinite(out))
+
+    def test_prune_everything_raises(self):
+        model = fresh_vgg()
+        unit = model.prune_units()[0]
+        with pytest.raises(ValueError):
+            prune_unit(unit, np.zeros(unit.num_maps, dtype=bool))
+
+
+class TestPruneModel:
+    def test_applies_named_masks(self):
+        model = fresh_vgg()
+        units = model.prune_units()
+        maps_before = [units[0].num_maps, units[1].num_maps]
+        masks = {
+            units[0].name: np.array([True] * 4 + [False] * (maps_before[0] - 4)),
+            units[1].name: np.array([True] * 4 + [False] * (maps_before[1] - 4)),
+        }
+        removed = prune_model(units, masks)
+        assert removed == (maps_before[0] - 4) + (maps_before[1] - 4)
+        assert units[0].conv.out_channels == 4
+
+    def test_unknown_name_raises(self):
+        model = fresh_vgg()
+        units = model.prune_units()
+        with pytest.raises(KeyError):
+            prune_model(units, {"conv9_9": np.ones(4, dtype=bool)})
+
+    def test_accuracy_degrades_gracefully(self, trained_lenet, tiny_task,
+                                           lenet_copy):
+        """Pruning half the maps must not destroy the model entirely."""
+        baseline = evaluate(lenet_copy, tiny_task.test.images,
+                            tiny_task.test.labels)
+        unit = lenet_copy.prune_units()[0]
+        mask = np.zeros(unit.num_maps, dtype=bool)
+        mask[:max(1, unit.num_maps // 2)] = True
+        prune_unit(unit, mask)
+        pruned_accuracy = evaluate(lenet_copy, tiny_task.test.images,
+                                   tiny_task.test.labels)
+        assert pruned_accuracy > 0.0
+        assert pruned_accuracy <= baseline + 0.2

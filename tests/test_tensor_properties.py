@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) for autograd invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor
+
+FLOATS = st.floats(min_value=-10.0, max_value=10.0,
+                   allow_nan=False, allow_infinity=False, width=64)
+
+
+def small_arrays(max_dims=3, max_side=4):
+    return arrays(np.float64,
+                  array_shapes(min_dims=1, max_dims=max_dims,
+                               min_side=1, max_side=max_side),
+                  elements=FLOATS)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_add_commutative(a):
+    x, y = Tensor(a), Tensor(a[::-1].copy())
+    assert np.allclose((x + y).data, (y + x).data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_mul_grad_is_other_operand(a):
+    x = Tensor(a, requires_grad=True)
+    y = Tensor(np.full_like(a, 3.0))
+    (x * y).sum().backward()
+    assert np.allclose(x.grad, 3.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_grad_is_ones(a):
+    x = Tensor(a, requires_grad=True)
+    x.sum().backward()
+    assert np.allclose(x.grad, np.ones_like(a))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_mean_equals_sum_over_size(a):
+    x = Tensor(a)
+    assert np.allclose(x.mean().data, x.sum().data / a.size)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sigmoid_bounded_and_monotone_in_input_sign(a):
+    out = Tensor(a).sigmoid().data
+    assert np.all(out > 0) and np.all(out < 1)
+    away_from_zero = np.abs(a) > 1e-8
+    assert np.all((out >= 0.5)[away_from_zero] == (a >= 0)[away_from_zero])
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_relu_idempotent(a):
+    x = Tensor(a)
+    once = x.relu().data
+    twice = x.relu().relu().data
+    assert np.allclose(once, twice)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_exp_log_roundtrip(a):
+    x = Tensor(np.abs(a) + 0.5)
+    assert np.allclose(x.log().exp().data, x.data, rtol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_reshape_roundtrip_preserves_gradient(a):
+    x = Tensor(a, requires_grad=True)
+    y = x.reshape(-1).reshape(a.shape)
+    (y * 2).sum().backward()
+    assert np.allclose(x.grad, 2.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_transpose_involution(a):
+    x = Tensor(a)
+    assert np.allclose(x.T.T.data, a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(), st.floats(min_value=-5, max_value=5,
+                                 allow_nan=False))
+def test_add_scalar_shifts_all(a, c):
+    out = (Tensor(a) + c).data
+    assert np.allclose(out, a + c)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(1, 4)),
+              elements=FLOATS))
+def test_max_grad_sums_to_count_of_rows(a):
+    x = Tensor(a, requires_grad=True)
+    x.max(axis=1).sum().backward()
+    # Each row distributes exactly weight 1 among its maxima.
+    assert np.allclose(x.grad.sum(axis=1), 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_clip_within_bounds(a):
+    out = Tensor(a).clip(-1.0, 1.0).data
+    assert np.all(out >= -1.0) and np.all(out <= 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=1, max_side=6))
+def test_pad_then_slice_recovers(a):
+    x = Tensor(a)
+    padded = x.pad([(2, 3)])
+    assert padded.shape == (a.shape[0] + 5,)
+    assert np.allclose(padded.data[2:2 + a.shape[0]], a)
+    assert np.allclose(padded.data[:2], 0.0)

@@ -1,0 +1,83 @@
+"""Unit tests for batch augmentation transforms."""
+
+import numpy as np
+
+from repro.data import (Compose, add_noise, random_horizontal_flip,
+                        random_shift, standard_augmentation)
+
+
+def batch(rng, n=8, c=3, size=6):
+    return rng.normal(size=(n, c, size, size)).astype(np.float32)
+
+
+class TestFlip:
+    def test_p_one_flips_everything(self, rng):
+        x = batch(rng)
+        out = random_horizontal_flip(x, rng, p=1.0)
+        assert np.allclose(out, x[:, :, :, ::-1])
+
+    def test_p_zero_is_identity(self, rng):
+        x = batch(rng)
+        out = random_horizontal_flip(x, rng, p=0.0)
+        assert out is x  # no copy when nothing flips
+
+    def test_partial_flip_keeps_others(self, rng):
+        x = batch(rng, n=50)
+        out = random_horizontal_flip(x, np.random.default_rng(0), p=0.5)
+        flipped = np.array([not np.allclose(out[i], x[i]) for i in range(50)])
+        assert 0 < flipped.sum() < 50
+        # Unflipped rows are bit-identical.
+        for i in np.flatnonzero(~flipped):
+            assert np.array_equal(out[i], x[i])
+
+
+class TestShift:
+    def test_zero_shift_identity(self, rng):
+        x = batch(rng)
+        assert random_shift(x, rng, max_shift=0) is x
+
+    def test_shape_preserved(self, rng):
+        x = batch(rng)
+        out = random_shift(x, rng, max_shift=2)
+        assert out.shape == x.shape
+
+    def test_content_is_translated_window(self, rng):
+        # A one-hot pixel must remain a single one-hot pixel (or vanish
+        # off the edge) after shifting.
+        x = np.zeros((1, 1, 5, 5), dtype=np.float32)
+        x[0, 0, 2, 2] = 1.0
+        out = random_shift(x, np.random.default_rng(1), max_shift=1)
+        assert out.sum() in (0.0, 1.0)
+        assert out.max() in (0.0, 1.0)
+
+
+class TestNoise:
+    def test_noise_changes_values(self, rng):
+        x = batch(rng)
+        out = add_noise(x, rng, scale=0.1)
+        assert not np.allclose(out, x)
+        assert np.abs(out - x).mean() < 0.5
+
+    def test_noise_scale_zero(self, rng):
+        x = batch(rng)
+        out = add_noise(x, rng, scale=0.0)
+        assert np.allclose(out, x)
+
+
+class TestCompose:
+    def test_applies_in_order(self, rng):
+        double = lambda b, r: b * 2
+        add_one = lambda b, r: b + 1
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        assert np.allclose(Compose([double, add_one])(x, rng), 3.0)
+        assert np.allclose(Compose([add_one, double])(x, rng), 4.0)
+
+    def test_standard_augmentation_runs(self, rng):
+        aug = standard_augmentation(max_shift=1, noise=0.01)
+        x = batch(rng)
+        out = aug(x, rng)
+        assert out.shape == x.shape
+
+    def test_standard_augmentation_flip_only(self, rng):
+        aug = standard_augmentation(max_shift=0, noise=0.0)
+        assert len(aug.transforms) == 1

@@ -1,0 +1,78 @@
+"""Unit tests for unstructured (connection-wise) pruning."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad
+from repro.pruning import (magnitude_prune, sparse_execution_time_factor,
+                           sparsity_of)
+from repro.training import evaluate
+
+
+class TestMagnitudePrune:
+    def test_hits_target_sparsity(self, lenet_copy):
+        masks = magnitude_prune(lenet_copy, 0.5)
+        assert abs(masks.sparsity - 0.5) < 0.02
+        assert abs(sparsity_of(lenet_copy) - 0.5) < 0.02
+
+    def test_keeps_largest_weights(self, lenet_copy):
+        weight = lenet_copy.conv1.weight.data
+        biggest = np.unravel_index(np.abs(weight).argmax(), weight.shape)
+        magnitude_prune(lenet_copy, 0.8)
+        assert lenet_copy.conv1.weight.data[biggest] != 0.0
+
+    def test_zero_sparsity_is_noop(self, lenet_copy):
+        before = lenet_copy.conv1.weight.data.copy()
+        magnitude_prune(lenet_copy, 0.0)
+        assert np.array_equal(lenet_copy.conv1.weight.data, before)
+
+    def test_invalid_sparsity(self, lenet_copy):
+        with pytest.raises(ValueError):
+            magnitude_prune(lenet_copy, 1.0)
+        with pytest.raises(ValueError):
+            magnitude_prune(lenet_copy, -0.1)
+
+    def test_no_tensor_fully_pruned(self, lenet_copy):
+        masks = magnitude_prune(lenet_copy, 0.98)
+        for mask in masks.masks.values():
+            assert mask.any()
+
+    def test_masks_reapply_after_update(self, lenet_copy):
+        masks = magnitude_prune(lenet_copy, 0.6)
+        # Simulate an optimizer step resurrecting pruned weights.
+        lenet_copy.conv1.weight.data += 1.0
+        masks.apply()
+        assert abs(sparsity_of(lenet_copy) - 0.6) < 0.02
+
+    def test_model_still_runs(self, lenet_copy, tiny_task):
+        magnitude_prune(lenet_copy, 0.7)
+        accuracy = evaluate(lenet_copy, tiny_task.test.images,
+                            tiny_task.test.labels)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_moderate_sparsity_mild_damage(self, lenet_copy, tiny_task):
+        """Han'15's core finding: moderate magnitude pruning is benign."""
+        before = evaluate(lenet_copy, tiny_task.test.images,
+                          tiny_task.test.labels)
+        magnitude_prune(lenet_copy, 0.3)
+        after = evaluate(lenet_copy, tiny_task.test.images,
+                         tiny_task.test.labels)
+        assert after >= before - 0.25
+
+
+class TestSparseExecutionModel:
+    def test_break_even_at_60_percent(self):
+        assert sparse_execution_time_factor(0.6, format_overhead=2.5) \
+            == pytest.approx(1.0)
+
+    def test_low_sparsity_slower_than_dense(self):
+        assert sparse_execution_time_factor(0.2) > 1.0
+
+    def test_high_sparsity_faster_than_dense(self):
+        assert sparse_execution_time_factor(0.9) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparse_execution_time_factor(1.5)
+        with pytest.raises(ValueError):
+            sparse_execution_time_factor(0.5, format_overhead=0.5)

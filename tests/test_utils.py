@@ -1,0 +1,86 @@
+"""Unit tests for checkpointing and seeding utilities."""
+
+import numpy as np
+import pytest
+
+from repro.models import lenet, vgg16
+from repro.nn import Tensor, no_grad
+from repro.utils import (RngFamily, checkpoint_keys, load_checkpoint,
+                         save_checkpoint, seed_everything)
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        model = lenet(num_classes=4, input_size=12,
+                      rng=np.random.default_rng(0))
+        path = save_checkpoint(model, tmp_path / "model")
+        assert path.suffix == ".npz"
+        twin = lenet(num_classes=4, input_size=12,
+                     rng=np.random.default_rng(99))
+        load_checkpoint(twin, path)
+        x = Tensor(np.random.default_rng(1).normal(
+            size=(2, 3, 12, 12)).astype(np.float32))
+        model.eval(), twin.eval()
+        with no_grad():
+            assert np.allclose(model(x).data, twin(x).data)
+
+    def test_keys_match_state_dict(self, tmp_path):
+        model = lenet(num_classes=4, input_size=12,
+                      rng=np.random.default_rng(0))
+        path = save_checkpoint(model, tmp_path / "model.npz")
+        assert checkpoint_keys(path) == sorted(model.state_dict())
+
+    def test_architecture_mismatch_raises(self, tmp_path):
+        model = lenet(num_classes=4, input_size=12,
+                      rng=np.random.default_rng(0))
+        path = save_checkpoint(model, tmp_path / "model")
+        other = vgg16(num_classes=4, input_size=12, width_multiplier=0.125,
+                      rng=np.random.default_rng(0))
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(other, path)
+
+    def test_pruned_checkpoint_roundtrip(self, tmp_path):
+        from repro.pruning import prune_unit
+        model = lenet(num_classes=4, input_size=12,
+                      rng=np.random.default_rng(0))
+        unit = model.prune_units()[0]
+        mask = np.zeros(unit.num_maps, dtype=bool)
+        mask[:3] = True
+        prune_unit(unit, mask)
+        path = save_checkpoint(model, tmp_path / "pruned")
+        # An unpruned twin must reject the pruned checkpoint.
+        fresh = lenet(num_classes=4, input_size=12,
+                      rng=np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            load_checkpoint(fresh, path)
+
+
+class TestSeeding:
+    def test_family_is_deterministic(self):
+        a, b = seed_everything(7), seed_everything(7)
+        assert a.model.random() == b.model.random()
+        assert a.policy.random() == b.policy.random()
+
+    def test_streams_are_independent(self):
+        family = seed_everything(7)
+        # Consuming one stream must not perturb another.
+        reference = seed_everything(7).data.random(4)
+        family.model.random(100)
+        assert np.allclose(family.data.random(4), reference)
+
+    def test_different_seeds_differ(self):
+        assert seed_everything(1).model.random() != \
+            seed_everything(2).model.random()
+
+    def test_spawn_named_generator(self):
+        family = seed_everything(3)
+        x = family.spawn("finetune").random(3)
+        y = seed_everything(3).spawn("finetune").random(3)
+        assert np.allclose(x, y)
+        z = family.spawn("other").random(3)
+        assert not np.allclose(x, z)
+
+    def test_family_fields(self):
+        family = seed_everything(0)
+        assert isinstance(family, RngFamily)
+        assert family.seed == 0
