@@ -23,9 +23,10 @@ Quickstart::
                              HeadStartConfig(speedup=2.0)).run()
 """
 
-from . import analysis, core, data, gpusim, models, nn, pruning, utils
+from . import analysis, core, data, gpusim, models, nn, pruning, runtime, utils
 from .core import (BlockHeadStart, FinetuneConfig, HeadStartConfig,
                    HeadStartPruner, LayerAgent, finetune)
+from .runtime import ResumableRunner, RetryPolicy
 from .data import make_cifar100_like, make_cub200_like
 from .models import build_model, resnet56, resnet110, vgg16
 from .pruning import compression_ratio, profile_model
@@ -35,8 +36,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "nn", "data", "models", "pruning", "core", "gpusim", "analysis", "utils",
+    "runtime",
     "HeadStartConfig", "HeadStartPruner", "LayerAgent", "BlockHeadStart",
-    "FinetuneConfig", "finetune",
+    "FinetuneConfig", "finetune", "ResumableRunner", "RetryPolicy",
     "make_cifar100_like", "make_cub200_like",
     "vgg16", "resnet56", "resnet110", "build_model",
     "profile_model", "compression_ratio",

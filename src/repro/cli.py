@@ -28,8 +28,9 @@ from .gpusim import (available_devices, estimate_energy, estimate_fps,
                      get_device)
 from .models import ResNet, available_models, build_model
 from .pruning import profile_model
+from .runtime import (JournalError, ResumableRunner, ResumeMismatchError)
 from .training import TrainConfig, evaluate_dataset, fit
-from .utils import save_checkpoint, load_checkpoint
+from .utils import CheckpointError, save_checkpoint, load_checkpoint
 
 __all__ = ["main", "build_parser"]
 
@@ -109,12 +110,32 @@ def _cmd_prune(args) -> int:
             TrainConfig(epochs=args.finetune_epochs, batch_size=args.batch_size,
                         lr=args.lr / 2, seed=args.seed))
     else:
-        pruner = HeadStartPruner(
-            model, task.train, task.test, config=config,
-            finetune_config=FinetuneConfig(epochs=args.finetune_epochs,
-                                           batch_size=args.batch_size,
-                                           lr=args.lr / 2, seed=args.seed))
-        result = pruner.run()
+        finetune_config = FinetuneConfig(epochs=args.finetune_epochs,
+                                         batch_size=args.batch_size,
+                                         lr=args.lr / 2, seed=args.seed)
+        if args.run_dir:
+            runner = ResumableRunner(model, task.train, task.test,
+                                     config=config,
+                                     finetune_config=finetune_config)
+            try:
+                report = runner.run(args.run_dir, resume=args.resume)
+            except (JournalError, ResumeMismatchError,
+                    CheckpointError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            result = report.result
+            model = runner.model
+            if report.resumed_layers:
+                print(f"resumed after {report.resumed_layers} journaled "
+                      f"layer(s) from {report.journal_path}")
+            for name in report.skipped_layers:
+                print(f"layer {name} skipped after exhausting retries "
+                      f"(see journal)", file=sys.stderr)
+        else:
+            pruner = HeadStartPruner(model, task.train, task.test,
+                                     config=config,
+                                     finetune_config=finetune_config)
+            result = pruner.run()
         table = Table(["LAYER", "#MAPS", "#AFTER", "INC. ACC", "FT ACC"])
         for log in result.layers:
             table.add_row([log.name, log.maps_before, log.maps_after,
@@ -197,6 +218,12 @@ def build_parser() -> argparse.ArgumentParser:
     prune.add_argument("--finetune-epochs", type=int, default=2)
     prune.add_argument("--batch-size", type=int, default=32)
     prune.add_argument("--lr", type=float, default=0.05)
+    prune.add_argument("--run-dir", default=None,
+                       help="journal + per-layer checkpoints here, making "
+                            "the run crash-safe (layer mode only)")
+    prune.add_argument("--resume", action="store_true",
+                       help="continue the run journaled in --run-dir from "
+                            "its first incomplete layer")
     prune.add_argument("--out", default=None)
     prune.set_defaults(handler=_cmd_prune)
 

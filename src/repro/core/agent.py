@@ -65,9 +65,10 @@ class LayerAgent:
 
     def __init__(self, model: Module, unit: ConvUnit,
                  images: np.ndarray, labels: np.ndarray,
-                 config: HeadStartConfig = HeadStartConfig()):
+                 config: HeadStartConfig | None = None):
         self.model = model
         self.unit = unit
+        config = config if config is not None else HeadStartConfig()
         self.config = config
         batch = min(config.eval_batch, len(images))
         self.images = images[:batch]

@@ -28,6 +28,10 @@ from .finetune import FinetuneConfig, finetune
 
 __all__ = ["LayerLog", "HeadStartResult", "HeadStartPruner"]
 
+# Distinguishes "use a fresh default schedule" from finetune_config=None,
+# which explicitly disables fine-tuning (the Figure-3 protocol).
+_DEFAULT_FINETUNE = object()
+
 
 @dataclass
 class LayerLog:
@@ -84,8 +88,8 @@ class HeadStartPruner:
 
     def __init__(self, model: Module, train_set: Dataset,
                  test_set: Dataset | None = None,
-                 config: HeadStartConfig = HeadStartConfig(),
-                 finetune_config: FinetuneConfig | None = FinetuneConfig(),
+                 config: HeadStartConfig | None = None,
+                 finetune_config: FinetuneConfig | None = _DEFAULT_FINETUNE,
                  calibration: tuple[np.ndarray, np.ndarray] | None = None,
                  input_shape: tuple[int, int, int] | None = None):
         problems = validate_units(model.prune_units())
@@ -96,7 +100,10 @@ class HeadStartPruner:
         self.model = model
         self.train_set = train_set
         self.test_set = test_set
+        config = config if config is not None else HeadStartConfig()
         self.config = config
+        if finetune_config is _DEFAULT_FINETUNE:
+            finetune_config = FinetuneConfig()
         self.finetune_config = finetune_config
         self.input_shape = input_shape
         if calibration is None:
@@ -111,38 +118,61 @@ class HeadStartPruner:
             return None
         return profile_model(self.model, self.input_shape)
 
-    def prune_layer(self, unit: ConvUnit, seed_offset: int = 0) -> AgentResult:
-        """Train one layer's agent and physically apply its inception."""
-        layer_config = dataclasses.replace(
-            self.config, seed=self.config.seed + seed_offset)
+    def active_units(self, skip_last: bool = True) -> list[ConvUnit]:
+        """The units a whole-model run prunes, in forward order."""
+        units = self.model.prune_units()
+        return units[:-1] if (skip_last and len(units) > 1) else units
+
+    def prune_layer(self, unit: ConvUnit, seed_offset: int = 0,
+                    config: HeadStartConfig | None = None) -> AgentResult:
+        """Train one layer's agent and physically apply its inception.
+
+        ``config``, when given, is used verbatim (the caller owns its
+        seed); otherwise the run config is reseeded by ``seed_offset``.
+        """
+        if config is None:
+            config = dataclasses.replace(
+                self.config, seed=self.config.seed + seed_offset)
         agent = LayerAgent(self.model, unit, *self.calibration,
-                           config=layer_config)
+                           config=config)
         result = agent.run()
         prune_unit(unit, result.keep_mask)
         return result
 
+    def run_layer(self, unit: ConvUnit, seed_offset: int = 0,
+                  config: HeadStartConfig | None = None
+                  ) -> tuple[LayerLog, AgentResult]:
+        """One full protocol step: agent + surgery + fine-tune + logging.
+
+        This is the unit of work the fault-tolerant runtime journals,
+        retries and resumes; :meth:`run` is a plain loop over it, so both
+        entry points produce identical per-layer results.
+        """
+        maps_before = unit.num_maps
+        agent_result = self.prune_layer(unit, seed_offset=seed_offset,
+                                        config=config)
+        finetuned_accuracy = None
+        if self.finetune_config is not None:
+            finetune(self.model, self.train_set, config=self.finetune_config)
+        if self.test_set is not None:
+            finetuned_accuracy = evaluate_dataset(self.model, self.test_set)
+        stats = self._stats()
+        log = LayerLog(
+            name=unit.name, maps_before=maps_before,
+            maps_after=agent_result.kept_maps,
+            inception_accuracy=agent_result.inception_accuracy,
+            finetuned_accuracy=finetuned_accuracy,
+            agent_iterations=agent_result.iterations,
+            params_m=stats.params_m if stats else None,
+            flops_b=stats.flops_b if stats else None)
+        return log, agent_result
+
     def run(self, skip_last: bool = True) -> HeadStartResult:
         """Prune every layer, fine-tuning in between; returns the full log."""
-        units = self.model.prune_units()
-        active = units[:-1] if (skip_last and len(units) > 1) else units
         outcome = HeadStartResult()
-        for offset, unit in enumerate(active):
-            maps_before = unit.num_maps
-            agent_result = self.prune_layer(unit, seed_offset=offset)
-            finetuned_accuracy = None
-            if self.finetune_config is not None:
-                finetune(self.model, self.train_set, config=self.finetune_config)
-            if self.test_set is not None:
-                finetuned_accuracy = evaluate_dataset(self.model, self.test_set)
-            stats = self._stats()
-            outcome.layers.append(LayerLog(
-                name=unit.name, maps_before=maps_before,
-                maps_after=agent_result.kept_maps,
-                inception_accuracy=agent_result.inception_accuracy,
-                finetuned_accuracy=finetuned_accuracy,
-                agent_iterations=agent_result.iterations,
-                params_m=stats.params_m if stats else None,
-                flops_b=stats.flops_b if stats else None))
+        for offset, unit in enumerate(self.active_units(skip_last)):
+            log, agent_result = self.run_layer(unit, seed_offset=offset)
+            outcome.layers.append(log)
             outcome.masks[unit.name] = agent_result.keep_mask
             outcome.agent_results[unit.name] = agent_result
         if self.test_set is not None:

@@ -23,6 +23,8 @@ from typing import Callable
 
 import numpy as np
 
+from ..runtime import faults
+from ..runtime.guards import require_all_finite, require_finite
 from ._optim import _policy_optimizer
 from .config import HeadStartConfig
 from .policy import (HeadStartNetwork, bernoulli_log_prob, sample_actions,
@@ -114,13 +116,20 @@ class ReinforceDriver:
             noise = self.policy.sample_noise(self.rng)
             probs = self.policy(noise)
             prob_values = probs.data.copy()
+            require_all_finite(prob_values, "reinforce.policy",
+                               iteration=iterations)
             final_probs = prob_values
 
             actions = sample_actions(prob_values, config.mc_samples, self.rng,
                                      exploration=config.exploration)
             rewards = np.array([self.reward_fn(action) for action in actions])
             greedy = threshold_action(prob_values, config.threshold)
-            greedy_reward = self.reward_fn(greedy)
+            greedy_reward = faults.corrupt("reinforce.reward",
+                                           self.reward_fn(greedy))
+            require_all_finite(rewards, "reinforce.reward",
+                               iteration=iterations)
+            require_finite(greedy_reward, "reinforce.reward",
+                           iteration=iterations)
 
             if config.baseline == "greedy":
                 baseline = greedy_reward
@@ -136,12 +145,15 @@ class ReinforceDriver:
                 term = bernoulli_log_prob(probs, action) * (-advantage)
                 loss = term if loss is None else loss + term
             loss = loss / float(config.mc_samples)
+            loss_value = faults.corrupt("reinforce.loss", loss.item())
+            require_finite(loss_value, "reinforce.loss",
+                           iteration=iterations)
             loss.backward()
             self.optimizer.step()
 
             iteration_reward = float(max(rewards.max(), greedy_reward))
             reward_history.append(iteration_reward)
-            loss_history.append(loss.item())
+            loss_history.append(loss_value)
 
             if iteration_reward > best_reward + config.tolerance:
                 best_reward = iteration_reward

@@ -13,6 +13,7 @@ from .metrics import accuracy, topk_accuracy
 from .modules import (AvgPool2d, BatchNorm2d, Conv2d, Dropout, Flatten,
                       GlobalAvgPool2d, Identity, Linear, MaxPool2d, Module,
                       Parameter, ReLU, Sequential, Sigmoid, Tanh, Upsample)
+from .numeric import NonFiniteError, any_nonfinite
 from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad
 
 __all__ = [
@@ -22,5 +23,6 @@ __all__ = [
     "Sigmoid", "Tanh", "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d",
     "Flatten", "Dropout", "Identity", "Sequential", "Upsample",
     "accuracy", "topk_accuracy",
+    "any_nonfinite", "NonFiniteError",
     "check_gradients", "numerical_gradient",
 ]

@@ -1,0 +1,35 @@
+"""Numerical health checks for parameters and gradients.
+
+:func:`any_nonfinite` is the :func:`~repro.training.clip_grad_norm`-style
+sweep over a parameter list; the optimizers use it (via the cheaper
+per-gradient check in their step path) to fail fast with
+:class:`NonFiniteError` instead of silently writing NaN into the model,
+after which every later loss/reward is garbage and the whole-model
+pruning chain is unrecoverable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NonFiniteError", "any_nonfinite"]
+
+
+class NonFiniteError(FloatingPointError):
+    """A parameter or gradient contains NaN/Inf."""
+
+
+def any_nonfinite(params) -> bool:
+    """True if any parameter's data or gradient contains NaN/Inf.
+
+    Accepts an iterable of :class:`~repro.nn.modules.Parameter`-likes
+    (anything with ``.data`` and optionally ``.grad``) or raw arrays.
+    """
+    for item in params:
+        data = getattr(item, "data", item)
+        if not np.all(np.isfinite(data)):
+            return True
+        grad = getattr(item, "grad", None)
+        if grad is not None and not np.all(np.isfinite(grad)):
+            return True
+    return False

@@ -11,19 +11,28 @@ from __future__ import annotations
 import numpy as np
 
 from .modules import Parameter
+from .numeric import NonFiniteError, any_nonfinite
 
 __all__ = ["Optimizer", "SGD", "RMSprop", "Adam", "StepLR", "CosineLR"]
 
 
 class Optimizer:
-    """Base class holding a parameter list and a learning rate."""
+    """Base class holding a parameter list and a learning rate.
 
-    def __init__(self, params, lr: float, weight_decay: float = 0.0):
+    ``check_finite`` (default on) sweeps each gradient in the step path
+    with :func:`~repro.nn.numeric.any_nonfinite` and raises
+    :class:`~repro.nn.numeric.NonFiniteError` instead of writing NaN/Inf
+    into the model, where it would silently poison every later step.
+    """
+
+    def __init__(self, params, lr: float, weight_decay: float = 0.0,
+                 check_finite: bool = True):
         self.params: list[Parameter] = list(params)
         if not self.params:
             raise ValueError("optimizer received an empty parameter list")
         self.lr = float(lr)
         self.weight_decay = float(weight_decay)
+        self.check_finite = bool(check_finite)
 
     def zero_grad(self) -> None:
         """Clear gradients of all managed parameters."""
@@ -33,6 +42,10 @@ class Optimizer:
     def _grad(self, param: Parameter) -> np.ndarray | None:
         if param.grad is None:
             return None
+        if self.check_finite and any_nonfinite((param.grad,)):
+            raise NonFiniteError(
+                f"non-finite gradient for parameter of shape "
+                f"{param.data.shape} in {type(self).__name__}.step()")
         if self.weight_decay:
             return param.grad + self.weight_decay * param.data
         return param.grad
@@ -45,8 +58,8 @@ class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
 
     def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
-                 weight_decay: float = 0.0):
-        super().__init__(params, lr, weight_decay)
+                 weight_decay: float = 0.0, check_finite: bool = True):
+        super().__init__(params, lr, weight_decay, check_finite)
         self.momentum = float(momentum)
         self._velocity: dict[int, np.ndarray] = {}
 
@@ -69,8 +82,9 @@ class RMSprop(Optimizer):
     """RMSprop (Hinton lecture 6a), used by the paper to train policies."""
 
     def __init__(self, params, lr: float = 1e-3, alpha: float = 0.99,
-                 eps: float = 1e-8, weight_decay: float = 0.0):
-        super().__init__(params, lr, weight_decay)
+                 eps: float = 1e-8, weight_decay: float = 0.0,
+                 check_finite: bool = True):
+        super().__init__(params, lr, weight_decay, check_finite)
         self.alpha = float(alpha)
         self.eps = float(eps)
         self._square_avg: dict[int, np.ndarray] = {}
@@ -92,8 +106,9 @@ class Adam(Optimizer):
     """Adam with bias correction."""
 
     def __init__(self, params, lr: float = 1e-3, betas: tuple[float, float] = (0.9, 0.999),
-                 eps: float = 1e-8, weight_decay: float = 0.0):
-        super().__init__(params, lr, weight_decay)
+                 eps: float = 1e-8, weight_decay: float = 0.0,
+                 check_finite: bool = True):
+        super().__init__(params, lr, weight_decay, check_finite)
         self.beta1, self.beta2 = betas
         self.eps = float(eps)
         self._m: dict[int, np.ndarray] = {}

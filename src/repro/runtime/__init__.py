@@ -1,0 +1,47 @@
+"""``repro.runtime`` — fault-tolerant pruning runtime.
+
+Journaled, resumable whole-model runs (:mod:`~repro.runtime.harness`),
+structured divergence errors (:mod:`~repro.runtime.errors`), guard
+helpers (:mod:`~repro.runtime.guards`), rollback/retry policy
+(:mod:`~repro.runtime.retry`) and deterministic fault injection for
+tests (:mod:`~repro.runtime.faults`).
+
+The harness submodule is loaded lazily: low-level training code
+(``repro.core.reinforce``, ``repro.training``) imports the error and
+fault-hook modules from this package, and an eager harness import would
+cycle back into ``repro.core`` mid-initialisation.
+"""
+
+from __future__ import annotations
+
+from . import faults
+from .errors import (AccuracyCollapseError, DivergenceError, JournalError,
+                     ResumeMismatchError)
+from .faults import FaultPlan, FaultSpec, SimulatedCrash, inject
+from .guards import (check_accuracy_collapse, require_all_finite,
+                     require_finite)
+from .journal import FORMAT_VERSION, RunJournal, config_digest
+from .retry import RetryPolicy
+
+__all__ = [
+    "DivergenceError", "AccuracyCollapseError", "ResumeMismatchError",
+    "JournalError",
+    "FaultPlan", "FaultSpec", "SimulatedCrash", "inject", "faults",
+    "require_finite", "require_all_finite", "check_accuracy_collapse",
+    "RunJournal", "config_digest", "FORMAT_VERSION",
+    "RetryPolicy",
+    "ResumableRunner", "RunReport", "resume",
+]
+
+_HARNESS_EXPORTS = ("ResumableRunner", "RunReport", "resume")
+
+
+def __getattr__(name: str):
+    if name in _HARNESS_EXPORTS:
+        from . import harness
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

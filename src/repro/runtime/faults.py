@@ -1,0 +1,138 @@
+"""Deterministic fault injection for testing the fault-tolerant runtime.
+
+Production code calls two cheap hooks at well-known *sites*:
+
+* :func:`crash_point` — may raise :class:`SimulatedCrash` (models the
+  process dying at that point);
+* :func:`corrupt` — may replace a float with NaN (models numerical
+  blow-up).
+
+Both are no-ops unless a :class:`FaultPlan` has been installed with
+:func:`inject`, so the hooks cost one global lookup on the happy path.
+A plan triggers by *site name* and *call count*, which makes "kill the
+run right after layer 2 completes" or "poison the loss on the fifth
+REINFORCE iteration" deterministic and repeatable.
+
+Sites currently wired in:
+
+==========================  ====================================================
+``runtime.layer_complete``  harness, after journaling layer ``k`` (crash only)
+``reinforce.loss``          REINFORCE loss value, once per iteration
+``reinforce.reward``        greedy-action reward, once per iteration
+``training.loss``           fine-tune minibatch loss, once per step
+==========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["SimulatedCrash", "FaultSpec", "FaultPlan", "inject",
+           "crash_point", "corrupt", "active_plan"]
+
+
+class SimulatedCrash(RuntimeError):
+    """Injected stand-in for the process dying (power loss, OOM kill...).
+
+    Deliberately *not* a :class:`~repro.runtime.errors.DivergenceError`:
+    the retry machinery must not catch it — it exists to test that a run
+    killed mid-flight can be resumed from its journal.
+    """
+
+    def __init__(self, site: str, count: int):
+        self.site = site
+        self.count = count
+        super().__init__(f"simulated crash at {site!r} (call #{count})")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule: at which calls of a site, do what.
+
+    ``at`` is the set of 1-based call counts that trigger; an empty set
+    means "every call".  ``action`` is ``"crash"`` or ``"nan"``.
+    """
+
+    site: str
+    action: str = "crash"
+    at: frozenset[int] = frozenset()
+
+    def __post_init__(self):
+        if self.action not in ("crash", "nan"):
+            raise ValueError("action must be 'crash' or 'nan'")
+
+    def triggers(self, count: int) -> bool:
+        return not self.at or count in self.at
+
+
+@dataclass
+class FaultPlan:
+    """A set of :class:`FaultSpec` rules plus per-site call counters."""
+
+    specs: list[FaultSpec] = field(default_factory=list)
+    _counts: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    fired: list[tuple[str, int, str]] = field(default_factory=list)
+
+    def crash_at(self, site: str, *counts: int) -> "FaultPlan":
+        self.specs.append(FaultSpec(site, "crash", frozenset(counts)))
+        return self
+
+    def nan_at(self, site: str, *counts: int) -> "FaultPlan":
+        self.specs.append(FaultSpec(site, "nan", frozenset(counts)))
+        return self
+
+    def _visit(self, site: str, kind: str) -> bool:
+        """Advance the site counter; True when a matching spec triggers."""
+        self._counts[site] += 1
+        count = self._counts[site]
+        for spec in self.specs:
+            if spec.site == site and spec.action == kind and \
+                    spec.triggers(count):
+                self.fired.append((site, count, kind))
+                return True
+        return False
+
+    def visit_crash(self, site: str) -> None:
+        if self._visit(site, "crash"):
+            raise SimulatedCrash(site, self._counts[site])
+
+    def visit_corrupt(self, site: str, value: float) -> float:
+        if self._visit(site, "nan"):
+            return math.nan
+        return value
+
+
+_ACTIVE: FaultPlan | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently installed plan, if any (mostly for tests)."""
+    return _ACTIVE
+
+
+@contextmanager
+def inject(plan: FaultPlan):
+    """Install ``plan`` for the duration of the with-block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous
+
+
+def crash_point(site: str) -> None:
+    """Raise :class:`SimulatedCrash` if the active plan says so."""
+    if _ACTIVE is not None:
+        _ACTIVE.visit_crash(site)
+
+
+def corrupt(site: str, value: float) -> float:
+    """Return ``value``, or NaN if the active plan poisons this call."""
+    if _ACTIVE is not None:
+        return _ACTIVE.visit_corrupt(site, value)
+    return value

@@ -1,0 +1,54 @@
+"""Divergence guards: fail fast, loudly, and with context.
+
+These helpers turn silent NaN propagation and accuracy collapse into
+structured :class:`~repro.runtime.errors.DivergenceError`\\ s that the
+fault-tolerant harness can journal, roll back from, and retry.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .errors import AccuracyCollapseError, DivergenceError
+
+__all__ = ["require_finite", "require_all_finite", "check_accuracy_collapse"]
+
+
+def require_finite(value: float, stage: str, *, layer: str | None = None,
+                   iteration: int | None = None) -> float:
+    """Return ``value`` or raise :class:`DivergenceError` if NaN/Inf."""
+    if not math.isfinite(value):
+        raise DivergenceError(stage, value=value, layer=layer,
+                              iteration=iteration)
+    return value
+
+
+def require_all_finite(values, stage: str, *, layer: str | None = None,
+                       iteration: int | None = None):
+    """Validate an array of training signals; returns it unchanged."""
+    array = np.asarray(values, dtype=np.float64)
+    if not np.all(np.isfinite(array)):
+        bad = array[~np.isfinite(array)]
+        raise DivergenceError(stage, value=float(bad.flat[0]), layer=layer,
+                              iteration=iteration,
+                              detail=f"{bad.size}/{array.size} non-finite "
+                                     f"entries")
+    return values
+
+
+def check_accuracy_collapse(before: float, after: float, ratio: float,
+                            layer: str | None = None) -> None:
+    """Raise :class:`AccuracyCollapseError` when accuracy fell off a cliff.
+
+    ``ratio`` is the collapse floor: the layer fails when
+    ``after < ratio * before``.  A ratio of 0 disables the check; NaN
+    accuracies (e.g. no test set) are treated as "cannot judge" and pass.
+    """
+    if ratio <= 0.0:
+        return
+    if not (math.isfinite(before) and math.isfinite(after)):
+        return
+    if after < ratio * before:
+        raise AccuracyCollapseError(before, after, ratio, layer=layer)

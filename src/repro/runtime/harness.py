@@ -1,0 +1,289 @@
+"""Crash-safe, self-healing driver for whole-model HeadStart runs.
+
+:class:`ResumableRunner` wraps :class:`~repro.core.pruner.HeadStartPruner`
+in the fault-tolerant protocol:
+
+* every completed layer is journaled (:mod:`repro.runtime.journal`) with
+  its :class:`~repro.core.pruner.LayerLog`, keep mask and an atomic model
+  checkpoint, so a run killed at layer ``k`` resumes from layer ``k``
+  with results bit-for-bit identical to an uninterrupted run;
+* divergence (:class:`~repro.runtime.errors.DivergenceError`, non-finite
+  gradients) and post-surgery accuracy collapse trigger rollback to the
+  pre-layer model and a retry with a reseeded, more conservative agent
+  (:class:`~repro.runtime.retry.RetryPolicy`);
+* when retries are exhausted the layer is skipped and journaled as a
+  failure, and the run continues — degraded, not dead.
+
+Per-layer determinism is what makes resume exact: each layer's agent
+seeds from ``config.seed + layer_offset`` and each fine-tune pass seeds
+its own loader, so a layer's outcome depends only on (model state,
+configs, data) — all of which the journal and checkpoints reconstruct.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.config import HeadStartConfig
+from ..core.finetune import FinetuneConfig
+from ..core.pruner import (HeadStartPruner, HeadStartResult, LayerLog,
+                           _DEFAULT_FINETUNE)
+from ..nn.numeric import NonFiniteError
+from ..pruning.surgery import prune_unit
+from ..training import evaluate, evaluate_dataset
+from ..utils.serialization import load_checkpoint, save_checkpoint
+from . import faults
+from .errors import DivergenceError, JournalError, ResumeMismatchError
+from .guards import check_accuracy_collapse
+from .journal import FORMAT_VERSION, RunJournal, config_digest
+from .retry import RetryPolicy
+
+__all__ = ["RunReport", "ResumableRunner", "resume"]
+
+INITIAL_CHECKPOINT = "initial.npz"
+
+
+@dataclass
+class RunReport:
+    """What a fault-tolerant run produced, beyond the core result."""
+
+    result: HeadStartResult
+    run_dir: Path
+    resumed_layers: int = 0
+    skipped_layers: list[str] = field(default_factory=list)
+    retried_layers: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def journal_path(self) -> Path:
+        return self.run_dir / "journal.jsonl"
+
+
+class ResumableRunner:
+    """Runs :class:`HeadStartPruner` under journal + retry protection.
+
+    Accepts the pruner's constructor arguments plus the robustness knobs;
+    ``collapse_ratio`` is the accuracy floor after surgery+fine-tune
+    relative to the pre-layer accuracy (0 disables the check), and
+    ``retry_policy`` governs rollback/reseed behaviour.
+    """
+
+    def __init__(self, model, train_set, test_set=None, *,
+                 config: HeadStartConfig | None = None,
+                 finetune_config: FinetuneConfig | None = _DEFAULT_FINETUNE,
+                 calibration=None, input_shape=None,
+                 retry_policy: RetryPolicy | None = None,
+                 collapse_ratio: float = 0.5,
+                 skip_last: bool = True):
+        self.pruner = HeadStartPruner(
+            model, train_set, test_set, config=config,
+            finetune_config=finetune_config, calibration=calibration,
+            input_shape=input_shape)
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.collapse_ratio = float(collapse_ratio)
+        self.skip_last = bool(skip_last)
+
+    @property
+    def model(self):
+        return self.pruner.model
+
+    # -- identity ----------------------------------------------------------
+    def _layer_names(self) -> list[str]:
+        return [unit.name
+                for unit in self.pruner.active_units(self.skip_last)]
+
+    def _unit(self, name: str):
+        for unit in self.pruner.model.prune_units():
+            if unit.name == name:
+                return unit
+        raise ResumeMismatchError(
+            f"model has no prunable unit named {name!r}")
+
+    def _calibration_digest(self) -> str:
+        images, labels = self.pruner.calibration
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(images).tobytes())
+        digest.update(np.ascontiguousarray(labels).tobytes())
+        return digest.hexdigest()[:16]
+
+    def _digest(self, names: list[str]) -> str:
+        return config_digest(self.pruner.config,
+                             self.pruner.finetune_config,
+                             self.retry_policy,
+                             {"skip_last": self.skip_last,
+                              "collapse_ratio": self.collapse_ratio,
+                              "units": names,
+                              "calibration": self._calibration_digest()})
+
+    # -- accuracy baseline for the collapse guard --------------------------
+    def _current_accuracy(self) -> float:
+        if self.pruner.test_set is not None:
+            return evaluate_dataset(self.pruner.model, self.pruner.test_set)
+        images, labels = self.pruner.calibration
+        batch = min(self.pruner.config.eval_batch, len(images))
+        return evaluate(self.pruner.model, images[:batch], labels[:batch])
+
+    # -- rollback ----------------------------------------------------------
+    def _restore(self, backup) -> None:
+        """Reinstate the pre-layer model (architecture and weights)."""
+        self.pruner.model = copy.deepcopy(backup)
+
+    # -- resume rebuild ----------------------------------------------------
+    def _rebuild(self, journal: RunJournal, names: list[str],
+                 report: RunReport, outcome: HeadStartResult) -> int:
+        """Replay the journal's completed prefix; returns the next index."""
+        header = journal.header()
+        if header.get("units") != names:
+            raise ResumeMismatchError(
+                f"journal covers units {header.get('units')!r} but this "
+                f"model/skip_last yields {names!r}")
+        if header.get("digest") != self._digest(names):
+            raise ResumeMismatchError(
+                "run configuration does not match the journal (config, "
+                "fine-tune schedule, calibration data or collapse ratio "
+                "changed); resume requires identical settings")
+        run_dir = journal.path.parent
+        # The initial checkpoint pins the exact starting weights, so a
+        # resumed run is a continuation even if the caller re-trained.
+        load_checkpoint(self.pruner.model, run_dir / INITIAL_CHECKPOINT)
+        done = journal.completed_layers()
+        prefix = journal.contiguous_prefix(done)
+        last_checkpoint: str | None = None
+        for index in range(prefix):
+            record = done[index]
+            name = record["name"]
+            if record["record"] == "layer_complete":
+                mask = np.asarray(record["mask"], dtype=bool)
+                prune_unit(self._unit(name), mask)
+                outcome.layers.append(LayerLog(**record["layer"]))
+                outcome.masks[name] = mask
+                last_checkpoint = record["checkpoint"]
+                if record.get("attempts", 1) > 1:
+                    report.retried_layers[name] = record["attempts"] - 1
+            else:
+                report.skipped_layers.append(name)
+        if last_checkpoint is not None:
+            load_checkpoint(self.pruner.model, run_dir / last_checkpoint)
+        report.resumed_layers = prefix
+        return prefix
+
+    # -- main entry ---------------------------------------------------------
+    def run(self, run_dir: str | Path, resume: bool = False) -> RunReport:
+        """Execute (or continue) the whole-model run under ``run_dir``.
+
+        With ``resume=True`` an existing journal is continued from its
+        first incomplete layer; without one, a fresh run starts (so
+        ``resume=True`` is safe to pass unconditionally).  A fresh run
+        refuses to write into a directory that already has a journal.
+        """
+        run_dir = Path(run_dir)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        journal = RunJournal(run_dir / "journal.jsonl")
+        names = self._layer_names()
+        outcome = HeadStartResult()
+        report = RunReport(result=outcome, run_dir=run_dir)
+
+        already_complete = False
+        if journal.exists():
+            if not resume:
+                raise JournalError(
+                    f"{journal.path} already exists; pass resume=True to "
+                    f"continue it or choose a fresh run directory")
+            start = self._rebuild(journal, names, report, outcome)
+            already_complete = any(r.get("record") == "run_complete"
+                                   for r in journal.read())
+        else:
+            save_checkpoint(self.pruner.model, run_dir / INITIAL_CHECKPOINT)
+            journal.append({"record": "run_start",
+                            "version": FORMAT_VERSION,
+                            "digest": self._digest(names),
+                            "units": names,
+                            "skip_last": self.skip_last,
+                            "config": self.pruner.config,
+                            "finetune_config": self.pruner.finetune_config})
+            start = 0
+
+        for index in range(start, len(names)):
+            name = names[index]
+            failures: list[dict] = []
+            pre_accuracy = self._current_accuracy()
+            backup = copy.deepcopy(self.pruner.model)
+            layer_outcome = None
+            for attempt in range(self.retry_policy.max_retries + 1):
+                unit = self._unit(name)
+                layer_config = None if attempt == 0 else \
+                    self.retry_policy.layer_config(self.pruner.config,
+                                                   index, attempt)
+                try:
+                    log, agent_result = self.pruner.run_layer(
+                        unit, seed_offset=index, config=layer_config)
+                    after = (log.finetuned_accuracy
+                             if log.finetuned_accuracy is not None
+                             else log.inception_accuracy)
+                    check_accuracy_collapse(pre_accuracy, after,
+                                            self.collapse_ratio, layer=name)
+                    layer_outcome = (log, agent_result)
+                    break
+                except (DivergenceError, NonFiniteError) as error:
+                    failure = {"attempt": attempt,
+                               "kind": type(error).__name__,
+                               "message": str(error)}
+                    if isinstance(error, DivergenceError):
+                        failure.update(error.as_record())
+                    failures.append(failure)
+                    journal.append({"record": "layer_attempt_failed",
+                                    "index": index, "name": name, **failure})
+                    self._restore(backup)
+            if layer_outcome is None:
+                journal.append({"record": "layer_skipped", "index": index,
+                                "name": name, "failures": failures})
+                report.skipped_layers.append(name)
+                continue
+            if failures:
+                report.retried_layers[name] = len(failures)
+            log, agent_result = layer_outcome
+            checkpoint = save_checkpoint(self.pruner.model,
+                                         run_dir / f"layer_{index:02d}")
+            journal.append({"record": "layer_complete", "index": index,
+                            "name": name,
+                            "layer": dataclasses.asdict(log),
+                            "mask": agent_result.keep_mask.astype(int),
+                            "checkpoint": checkpoint.name,
+                            "attempts": len(failures) + 1,
+                            "failures": failures})
+            outcome.layers.append(log)
+            outcome.masks[name] = agent_result.keep_mask
+            outcome.agent_results[name] = agent_result
+            faults.crash_point("runtime.layer_complete")
+
+        if self.pruner.test_set is not None:
+            outcome.final_accuracy = evaluate_dataset(self.pruner.model,
+                                                      self.pruner.test_set)
+        if not already_complete:
+            journal.append({"record": "run_complete",
+                            "final_accuracy": outcome.final_accuracy,
+                            "skipped": report.skipped_layers})
+        return report
+
+    def resume(self, run_dir: str | Path) -> RunReport:
+        """Continue an interrupted run (alias for ``run(resume=True)``)."""
+        return self.run(run_dir, resume=True)
+
+
+def resume(run_dir: str | Path, model, train_set, test_set=None,
+           **kwargs) -> RunReport:
+    """Rebuild and continue the run journaled under ``run_dir``.
+
+    ``model`` must be the *original* (unpruned) architecture; its weights
+    are replaced by the journal's initial checkpoint, completed layers'
+    masks are re-applied with physical surgery, the last per-layer
+    checkpoint is loaded, and the run continues from the first incomplete
+    layer.  Remaining keyword arguments mirror :class:`ResumableRunner`.
+    """
+    runner = ResumableRunner(model, train_set, test_set, **kwargs)
+    return runner.run(run_dir, resume=True)

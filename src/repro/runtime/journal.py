@@ -1,0 +1,135 @@
+"""Append-only JSONL run journal for resumable pruning runs.
+
+The journal is the single source of truth about a run's progress.  Each
+line is one JSON record; the first line is a ``run_start`` header
+(format version, config digest, unit names), followed by one
+``layer_complete`` / ``layer_skipped`` record per finished layer (with
+its Table-1 :class:`~repro.core.pruner.LayerLog` fields, keep mask and
+checkpoint filename), optional ``layer_attempt_failed`` diagnostics, and
+a final ``run_complete`` record.
+
+Records are flushed and fsync'd as they are appended, so a crash loses
+at most the line being written; :meth:`RunJournal.read` tolerates a
+truncated final line (the layer it described simply re-runs on resume).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable
+
+from .errors import JournalError
+
+__all__ = ["FORMAT_VERSION", "RunJournal", "config_digest"]
+
+FORMAT_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert dataclasses/numpy scalars/arrays to JSON types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "tolist"):  # numpy arrays and scalars
+        return value.tolist()
+    return value
+
+
+def config_digest(*parts: Any) -> str:
+    """Stable hex digest of configuration objects.
+
+    Dataclasses are serialised field-by-field, so two configs hash equal
+    iff every hyper-parameter matches; used to refuse resuming a journal
+    with different settings.
+    """
+    payload = json.dumps(_jsonable(list(parts)), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class RunJournal:
+    """Append-only JSONL manifest of one pruning run.
+
+    Parameters
+    ----------
+    path:
+        The ``journal.jsonl`` file (created on first append).
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists() and self.path.stat().st_size > 0
+
+    # -- writing -----------------------------------------------------------
+    def append(self, record: dict) -> dict:
+        """Durably append one record (adds the ``record`` key's siblings)."""
+        if "record" not in record:
+            raise ValueError("journal records need a 'record' type key")
+        line = json.dumps(_jsonable(record), sort_keys=True,
+                          separators=(",", ":"))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return record
+
+    # -- reading -----------------------------------------------------------
+    def read(self) -> list[dict]:
+        """All intact records; a truncated trailing line is dropped."""
+        if not self.path.exists():
+            raise JournalError(f"no journal at {self.path}")
+        records: list[dict] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().split("\n")
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if index == len(lines) - 1 or all(
+                        not later.strip() for later in lines[index + 1:]):
+                    break  # torn final write from a crash — ignore
+                raise JournalError(
+                    f"corrupt journal line {index + 1} in {self.path}")
+        return records
+
+    def header(self) -> dict:
+        """The ``run_start`` record, validating version and shape."""
+        records = self.read()
+        if not records or records[0].get("record") != "run_start":
+            raise JournalError(
+                f"{self.path} does not start with a run_start record")
+        header = records[0]
+        if header.get("version") != FORMAT_VERSION:
+            raise JournalError(
+                f"journal format version {header.get('version')!r} "
+                f"unsupported (expected {FORMAT_VERSION})")
+        return header
+
+    def completed_layers(self) -> dict[int, dict]:
+        """Index -> record for every journaled layer outcome."""
+        done: dict[int, dict] = {}
+        for record in self.read():
+            if record.get("record") in ("layer_complete", "layer_skipped"):
+                done[int(record["index"])] = record
+        return done
+
+    @staticmethod
+    def contiguous_prefix(done: Iterable[int]) -> int:
+        """Length of the 0-based contiguous completed prefix."""
+        have = set(done)
+        count = 0
+        while count in have:
+            count += 1
+        return count

@@ -18,6 +18,8 @@ from .nn.metrics import accuracy
 from .nn.modules import Module
 from .nn.optim import SGD, Optimizer
 from .nn.tensor import Tensor, no_grad
+from .runtime import faults
+from .runtime.guards import require_finite
 
 __all__ = ["TrainConfig", "History", "evaluate", "evaluate_dataset",
            "train_epoch", "fit", "clip_grad_norm"]
@@ -125,19 +127,23 @@ def train_epoch(model: Module, loader: DataLoader, optimizer: Optimizer,
         optimizer.zero_grad()
         logits = model(Tensor(images))
         loss = F.cross_entropy(logits, labels)
+        loss_value = faults.corrupt("training.loss", loss.item())
+        require_finite(loss_value, "training.loss")
         loss.backward()
         if max_grad_norm > 0:
             clip_grad_norm(optimizer.params, max_grad_norm)
         optimizer.step()
-        losses.append(loss.item())
+        losses.append(loss_value)
         accuracies.append(accuracy(logits, labels))
     return float(np.mean(losses)), float(np.mean(accuracies))
 
 
 def fit(model: Module, train_set: Dataset, test_set: Dataset | None = None,
-        config: TrainConfig = TrainConfig(),
+        config: TrainConfig | None = None,
         transform=None) -> History:
     """Train ``model`` with SGD per ``config``; evaluates after each epoch."""
+    if config is None:
+        config = TrainConfig()
     rng = np.random.default_rng(config.seed)
     loader = DataLoader(train_set, batch_size=config.batch_size, shuffle=True,
                         rng=rng, transform=transform)

@@ -1,7 +1,8 @@
 """``repro.utils`` — checkpointing and deterministic seeding."""
 
 from .seeding import RngFamily, seed_everything
-from .serialization import checkpoint_keys, load_checkpoint, save_checkpoint
+from .serialization import (CheckpointError, checkpoint_keys,
+                            load_checkpoint, save_checkpoint)
 
 __all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_keys",
-           "RngFamily", "seed_everything"]
+           "CheckpointError", "RngFamily", "seed_everything"]

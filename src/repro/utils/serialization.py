@@ -3,46 +3,138 @@
 Pruned models change tensor shapes, so a checkpoint records each
 parameter/buffer array under its state-dict key; loading validates that
 the target module has the same architecture (same keys and shapes).
+
+Checkpoints are written *atomically* (temp file + ``os.replace`` in the
+same directory) and carry a ``__meta__`` entry with a format version and
+a digest of every key's shape and dtype.  A process killed mid-save can
+therefore never leave a half-written archive behind, and a truncated or
+tampered file fails loading with a structured :class:`CheckpointError`
+instead of a cryptic zipfile traceback deep inside numpy.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from ..nn.modules import Module
 
-__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_keys"]
+__all__ = ["CheckpointError", "save_checkpoint", "load_checkpoint",
+           "checkpoint_keys"]
+
+CHECKPOINT_FORMAT_VERSION = 1
+_META_KEY = "__meta__"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is truncated, tampered with, or mismatched.
+
+    Subclasses :class:`ValueError` so callers that predate the metadata
+    format keep working.
+    """
+
+
+def _state_digest(state: dict) -> str:
+    """Digest of the state's keys, shapes and dtypes (not the values)."""
+    lines = sorted(f"{key}:{tuple(np.asarray(value).shape)}"
+                   f":{np.asarray(value).dtype}"
+                   for key, value in state.items())
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()[:16]
 
 
 def save_checkpoint(model: Module, path: str | Path) -> Path:
-    """Write the model's state dict to ``path`` (.npz appended if absent)."""
+    """Atomically write the model's state dict to ``path`` (.npz).
+
+    The archive lands under its final name only after being fully
+    written, so readers (and crash-recovery code) never observe a
+    partial checkpoint.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
     state = model.state_dict()
-    # npz keys cannot contain '/', state keys use '.', so they are safe.
-    np.savez(path, **state)
+    meta = {"version": CHECKPOINT_FORMAT_VERSION,
+            "digest": _state_digest(state),
+            "keys": len(state)}
+    # npz keys cannot contain '/', state keys use '.', so they are safe;
+    # '__meta__' cannot collide because state keys are always dotted.
+    payload = dict(state)
+    payload[_META_KEY] = np.array(json.dumps(meta, sort_keys=True))
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.stem,
+                                    suffix=".tmp.npz")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
     return path
+
+
+def _open_archive(path: Path):
+    try:
+        return np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as error:
+        raise CheckpointError(
+            f"checkpoint {path} is unreadable (truncated or not an .npz "
+            f"archive): {error}") from error
+
+
+def _read_state(path: Path) -> dict[str, np.ndarray]:
+    with _open_archive(path) as archive:
+        try:
+            state = {key: archive[key] for key in archive.files}
+        except (zipfile.BadZipFile, OSError, ValueError, EOFError) as error:
+            raise CheckpointError(
+                f"checkpoint {path} is corrupt: {error}") from error
+    meta_entry = state.pop(_META_KEY, None)
+    if meta_entry is not None:
+        try:
+            meta = json.loads(str(meta_entry))
+        except json.JSONDecodeError as error:
+            raise CheckpointError(
+                f"checkpoint {path} has an unreadable __meta__ entry"
+            ) from error
+        if meta.get("version") != CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has format version "
+                f"{meta.get('version')!r}; this build reads version "
+                f"{CHECKPOINT_FORMAT_VERSION}")
+        if meta.get("keys") != len(state) or \
+                meta.get("digest") != _state_digest(state):
+            raise CheckpointError(
+                f"checkpoint {path} fails its integrity check: stored "
+                f"key/shape digest does not match the archive contents")
+    return state
 
 
 def checkpoint_keys(path: str | Path) -> list[str]:
     """State-dict keys stored in a checkpoint (cheap metadata peek)."""
-    with np.load(Path(path)) as archive:
-        return sorted(archive.files)
+    with _open_archive(Path(path)) as archive:
+        return sorted(key for key in archive.files if key != _META_KEY)
 
 
 def load_checkpoint(model: Module, path: str | Path) -> Module:
     """Load a checkpoint saved by :func:`save_checkpoint` into ``model``.
 
-    Raises ``KeyError``/``ValueError`` when the checkpoint does not match
-    the module's architecture, which typically means the checkpoint was
-    taken after pruning surgery — rebuild the pruned architecture first
-    (e.g. via :func:`repro.core.vgg_like_pruned`).
+    Raises :class:`CheckpointError` when the archive is truncated or
+    fails its integrity digest, and ``KeyError``/``ValueError`` when the
+    (valid) checkpoint does not match the module's architecture — which
+    typically means the checkpoint was taken after pruning surgery;
+    rebuild the pruned architecture first (e.g. via
+    :func:`repro.core.vgg_like_pruned`).
     """
-    with np.load(Path(path)) as archive:
-        state = {key: archive[key] for key in archive.files}
+    state = _read_state(Path(path))
     model.load_state_dict(state)
     return model

@@ -1,0 +1,180 @@
+"""Fault-injection suite for the resumable pruning harness.
+
+The acceptance bar: a run killed after any layer and resumed must
+reproduce the uninterrupted run's LayerLogs, masks and final accuracy
+bit-for-bit, and injected NaNs must trigger rollback+retry (then
+skip-and-continue when retries are exhausted) instead of crashing.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import FinetuneConfig, HeadStartConfig
+from repro.runtime import (FaultPlan, JournalError, ResumableRunner,
+                           ResumeMismatchError, RetryPolicy, RunJournal,
+                           SimulatedCrash, inject, resume)
+
+
+def quick_config(**overrides):
+    defaults = dict(speedup=2.0, max_iterations=8, min_iterations=3,
+                    patience=3, eval_batch=24, seed=0, mc_samples=2)
+    defaults.update(overrides)
+    return HeadStartConfig(**defaults)
+
+
+def runner_kwargs(**overrides):
+    kwargs = dict(config=quick_config(),
+                  finetune_config=FinetuneConfig(epochs=1, batch_size=24,
+                                                 lr=0.02, seed=0),
+                  retry_policy=RetryPolicy(max_retries=1),
+                  skip_last=False)
+    kwargs.update(overrides)
+    return kwargs
+
+
+def make_runner(model, task, **overrides):
+    return ResumableRunner(model, task.train, task.test,
+                           **runner_kwargs(**overrides))
+
+
+def records_of_kind(run_dir, kind):
+    return [r for r in RunJournal(run_dir / "journal.jsonl").read()
+            if r["record"] == kind]
+
+
+class TestCrashResume:
+    @pytest.mark.parametrize("crash_after", [1, 2])
+    def test_resume_reproduces_uninterrupted_run(self, trained_lenet,
+                                                 tiny_task, tmp_path,
+                                                 crash_after):
+        baseline = make_runner(copy.deepcopy(trained_lenet), tiny_task)
+        expected = baseline.run(tmp_path / "uninterrupted").result
+
+        with inject(FaultPlan().crash_at("runtime.layer_complete",
+                                         crash_after)):
+            with pytest.raises(SimulatedCrash):
+                make_runner(copy.deepcopy(trained_lenet),
+                            tiny_task).run(tmp_path / "killed")
+
+        report = resume(tmp_path / "killed", copy.deepcopy(trained_lenet),
+                        tiny_task.train, tiny_task.test, **runner_kwargs())
+        assert report.resumed_layers == crash_after
+        assert report.result.layers == expected.layers
+        assert sorted(report.result.masks) == sorted(expected.masks)
+        for name, mask in expected.masks.items():
+            assert np.array_equal(report.result.masks[name], mask)
+        assert report.result.final_accuracy == expected.final_accuracy
+
+    def test_resume_restores_initial_weights(self, trained_lenet, tiny_task,
+                                             tmp_path):
+        """Resume continues from journaled weights even if the passed
+        model has drifted (e.g. was re-trained differently)."""
+        baseline = make_runner(copy.deepcopy(trained_lenet), tiny_task)
+        expected = baseline.run(tmp_path / "uninterrupted").result
+
+        with inject(FaultPlan().crash_at("runtime.layer_complete", 1)):
+            with pytest.raises(SimulatedCrash):
+                make_runner(copy.deepcopy(trained_lenet),
+                            tiny_task).run(tmp_path / "killed")
+
+        drifted = copy.deepcopy(trained_lenet)
+        drifted.conv1.weight.data += 0.05  # not the weights the run started from
+        report = resume(tmp_path / "killed", drifted, tiny_task.train,
+                        tiny_task.test, **runner_kwargs())
+        assert report.result.layers == expected.layers
+
+    def test_resume_of_completed_run_replays_journal(self, trained_lenet,
+                                                     tiny_task, tmp_path):
+        run_dir = tmp_path / "complete"
+        expected = make_runner(copy.deepcopy(trained_lenet),
+                               tiny_task).run(run_dir).result
+        report = resume(run_dir, copy.deepcopy(trained_lenet),
+                        tiny_task.train, tiny_task.test, **runner_kwargs())
+        assert report.resumed_layers == len(expected.layers)
+        assert report.result.layers == expected.layers
+        assert report.result.final_accuracy == expected.final_accuracy
+        # Replaying must not append a second run_complete record.
+        assert len(records_of_kind(run_dir, "run_complete")) == 1
+
+    def test_fresh_run_refuses_existing_journal(self, trained_lenet,
+                                                tiny_task, tmp_path):
+        run_dir = tmp_path / "run"
+        make_runner(copy.deepcopy(trained_lenet), tiny_task).run(run_dir)
+        with pytest.raises(JournalError):
+            make_runner(copy.deepcopy(trained_lenet),
+                        tiny_task).run(run_dir)
+
+    def test_resume_with_changed_config_is_refused(self, trained_lenet,
+                                                   tiny_task, tmp_path):
+        run_dir = tmp_path / "run"
+        with inject(FaultPlan().crash_at("runtime.layer_complete", 1)):
+            with pytest.raises(SimulatedCrash):
+                make_runner(copy.deepcopy(trained_lenet),
+                            tiny_task).run(run_dir)
+        with pytest.raises(ResumeMismatchError):
+            resume(run_dir, copy.deepcopy(trained_lenet), tiny_task.train,
+                   tiny_task.test,
+                   **runner_kwargs(config=quick_config(speedup=5.0)))
+
+
+class TestDivergenceRetry:
+    def test_nan_loss_triggers_rollback_and_retry(self, trained_lenet,
+                                                  tiny_task, tmp_path):
+        run_dir = tmp_path / "run"
+        with inject(FaultPlan().nan_at("reinforce.loss", 1)):
+            report = make_runner(copy.deepcopy(trained_lenet),
+                                 tiny_task).run(run_dir)
+        assert len(report.result.layers) == 2  # run completed regardless
+        assert report.retried_layers == {"conv1": 1}
+        failed = records_of_kind(run_dir, "layer_attempt_failed")
+        assert len(failed) == 1
+        assert failed[0]["stage"] == "reinforce.loss"
+        assert records_of_kind(run_dir, "run_complete")
+
+    def test_nan_during_finetune_rolls_back_surgery(self, trained_lenet,
+                                                    tiny_task, tmp_path):
+        original_maps = trained_lenet.prune_units()[0].num_maps
+        with inject(FaultPlan().nan_at("training.loss", 1)):
+            report = make_runner(copy.deepcopy(trained_lenet),
+                                 tiny_task).run(tmp_path / "run")
+        assert report.retried_layers == {"conv1": 1}
+        # The retry re-pruned from the *unpruned* layer, so the log's
+        # before-count matches the original width (surgery rolled back).
+        assert report.result.layers[0].maps_before == original_maps
+
+    def test_exhausted_retries_skip_layer_and_continue(self, trained_lenet,
+                                                       tiny_task, tmp_path):
+        model = copy.deepcopy(trained_lenet)
+        widths = [unit.num_maps for unit in model.prune_units()]
+        run_dir = tmp_path / "run"
+        with inject(FaultPlan().nan_at("reinforce.loss")):
+            report = make_runner(model, tiny_task).run(run_dir)
+        assert report.skipped_layers == ["conv1", "conv2"]
+        assert report.result.layers == []
+        assert report.result.final_accuracy is not None
+        skipped = records_of_kind(run_dir, "layer_skipped")
+        assert [r["name"] for r in skipped] == ["conv1", "conv2"]
+        assert all(len(r["failures"]) == 2 for r in skipped)  # 1 + 1 retry
+        # Skip-and-continue left the model physically untouched.
+        assert [u.num_maps for u in model.prune_units()] == widths
+        assert records_of_kind(run_dir, "run_complete")
+
+    def test_skipped_prefix_layer_survives_resume(self, trained_lenet,
+                                                  tiny_task, tmp_path):
+        run_dir = tmp_path / "run"
+        # Each attempt dies on its first loss, so poisoning calls 1-2
+        # fails both of conv1's attempts; conv2 then completes cleanly
+        # and the crash fires right after it is journaled.
+        plan = (FaultPlan().nan_at("reinforce.loss", 1, 2)
+                .crash_at("runtime.layer_complete", 1))
+        with inject(plan):
+            with pytest.raises(SimulatedCrash):
+                make_runner(copy.deepcopy(trained_lenet),
+                            tiny_task).run(run_dir)
+        report = resume(run_dir, copy.deepcopy(trained_lenet),
+                        tiny_task.train, tiny_task.test, **runner_kwargs())
+        assert report.skipped_layers == ["conv1"]
+        assert [log.name for log in report.result.layers] == ["conv2"]
+        assert report.result.final_accuracy is not None
