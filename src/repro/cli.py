@@ -81,6 +81,12 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_prune(args) -> int:
+    if args.resume and not args.run_dir:
+        print("error: --resume requires --run-dir", file=sys.stderr)
+        return 2
+    if args.mode == "block" and (args.run_dir or args.resume):
+        print("warning: --run-dir/--resume only apply to layer mode; "
+              "this block run will not be journaled", file=sys.stderr)
     task = _make_task(args)
     model = _make_model(args)
     if args.checkpoint:

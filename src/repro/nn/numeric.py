@@ -26,7 +26,10 @@ def any_nonfinite(params) -> bool:
     (anything with ``.data`` and optionally ``.grad``) or raw arrays.
     """
     for item in params:
-        data = getattr(item, "data", item)
+        # A raw ndarray is its own payload; ndarray.data is a memoryview,
+        # so the getattr fallback must not reach it.
+        data = item if isinstance(item, np.ndarray) \
+            else getattr(item, "data", item)
         if not np.all(np.isfinite(data)):
             return True
         grad = getattr(item, "grad", None)

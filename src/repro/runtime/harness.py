@@ -25,6 +25,7 @@ from __future__ import annotations
 import copy
 import dataclasses
 import hashlib
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -211,7 +212,11 @@ class ResumableRunner:
         for index in range(start, len(names)):
             name = names[index]
             failures: list[dict] = []
-            pre_accuracy = self._current_accuracy()
+            # The baseline accuracy only feeds the collapse guard, so a
+            # disabled guard skips the (full test-set) evaluation; NaN is
+            # "cannot judge" and check_accuracy_collapse passes it.
+            pre_accuracy = (self._current_accuracy()
+                            if self.collapse_ratio > 0.0 else math.nan)
             backup = copy.deepcopy(self.pruner.model)
             layer_outcome = None
             for attempt in range(self.retry_policy.max_retries + 1):

@@ -70,6 +70,28 @@ class RunJournal:
         return self.path.exists() and self.path.stat().st_size > 0
 
     # -- writing -----------------------------------------------------------
+    def _repair_torn_tail(self) -> None:
+        """Drop a torn trailing line (crash mid-write, no final newline).
+
+        Without this, appending after a crash would concatenate the new
+        record onto the partial line, corrupting *both* records and making
+        every later :meth:`read` fail.  The torn record is already lost
+        (``read`` ignores it), so truncating back to the last complete
+        line is safe and keeps the file one-record-per-line.
+        """
+        try:
+            if self.path.stat().st_size == 0:
+                return
+        except FileNotFoundError:
+            return
+        with open(self.path, "rb+") as handle:
+            data = handle.read()
+            if data.endswith(b"\n"):
+                return
+            handle.truncate(data.rfind(b"\n") + 1)
+            handle.flush()
+            os.fsync(handle.fileno())
+
     def append(self, record: dict) -> dict:
         """Durably append one record (adds the ``record`` key's siblings)."""
         if "record" not in record:
@@ -77,6 +99,7 @@ class RunJournal:
         line = json.dumps(_jsonable(record), sort_keys=True,
                           separators=(",", ":"))
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._repair_torn_tail()
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()

@@ -78,9 +78,19 @@ class TestCommands:
                      "--mode", "block", "--train-per-class", "6",
                      "--test-per-class", "3", "--epochs", "1",
                      "--iterations", "6", "--finetune-epochs", "1",
-                     "--eval-batch", "16"])
+                     "--eval-batch", "16",
+                     "--run-dir", str(tmp_path / "run")])
         assert code == 0
-        assert "learnt block pattern" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "learnt block pattern" in captured.out
+        # --run-dir is ignored in block mode, but loudly.
+        assert "not be journaled" in captured.err
+        assert not (tmp_path / "run").exists()
+
+    def test_prune_resume_requires_run_dir(self, capsys):
+        code = main(["prune", "--model", "lenet", "--resume"])
+        assert code == 2
+        assert "--run-dir" in capsys.readouterr().err
 
 
 class TestReportCommand:

@@ -98,6 +98,34 @@ class TestCrashResume:
         # Replaying must not append a second run_complete record.
         assert len(records_of_kind(run_dir, "run_complete")) == 1
 
+    def test_resume_twice_after_torn_journal_write(self, trained_lenet,
+                                                   tiny_task, tmp_path):
+        """A crash mid-journal-write leaves a torn trailing line with no
+        newline.  The first resume must repair the tail before appending
+        (not concatenate onto it), and a second resume must still parse
+        every journal line."""
+        baseline = make_runner(copy.deepcopy(trained_lenet), tiny_task)
+        expected = baseline.run(tmp_path / "uninterrupted").result
+
+        run_dir = tmp_path / "killed"
+        with inject(FaultPlan().crash_at("runtime.layer_complete", 1)):
+            with pytest.raises(SimulatedCrash):
+                make_runner(copy.deepcopy(trained_lenet),
+                            tiny_task).run(run_dir)
+        journal_path = run_dir / "journal.jsonl"
+        blob = journal_path.read_bytes().rstrip(b"\n")
+        journal_path.write_bytes(blob[:-7])  # tear the last record mid-line
+
+        report = resume(run_dir, copy.deepcopy(trained_lenet),
+                        tiny_task.train, tiny_task.test, **runner_kwargs())
+        assert report.result.layers == expected.layers
+        assert report.result.final_accuracy == expected.final_accuracy
+
+        second = resume(run_dir, copy.deepcopy(trained_lenet),
+                        tiny_task.train, tiny_task.test, **runner_kwargs())
+        assert second.resumed_layers == len(expected.layers)
+        assert second.result.layers == expected.layers
+
     def test_fresh_run_refuses_existing_journal(self, trained_lenet,
                                                 tiny_task, tmp_path):
         run_dir = tmp_path / "run"

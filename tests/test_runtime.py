@@ -41,6 +41,20 @@ class TestJournal:
         records = journal.read()
         assert len(records) == 2
 
+    def test_append_after_torn_tail_repairs_file(self, tmp_path):
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        journal.append({"record": "run_start", "version": 1})
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"record": "layer_comp')  # torn write
+        # Appending must not concatenate onto the torn line (which would
+        # corrupt both records and poison every later read()).
+        journal.append({"record": "layer_complete", "index": 0})
+        records = journal.read()
+        assert [r["record"] for r in records] == ["run_start",
+                                                  "layer_complete"]
+        journal.append({"record": "run_complete"})
+        assert len(journal.read()) == 3
+
     def test_corrupt_interior_line_raises(self, tmp_path):
         journal = RunJournal(tmp_path / "journal.jsonl")
         journal.append({"record": "run_start", "version": 1})
