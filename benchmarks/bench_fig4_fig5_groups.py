@@ -48,7 +48,8 @@ def _experiment(task):
         HeadStartConfig(speedup=2.0, max_iterations=40, min_iterations=20,
                         patience=10, eval_batch=96, seed=11))
     result = agent.run()
-    pruned = agent.apply(result)
+    agent.apply(result)
+    pruned = agent.model
     fit(pruned, task.train, None,
         TrainConfig(epochs=4, batch_size=32, lr=0.02, seed=0))
 

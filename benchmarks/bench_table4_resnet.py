@@ -48,7 +48,8 @@ def _experiment(task):
         HeadStartConfig(speedup=2.0, max_iterations=40, min_iterations=20,
                         patience=10, eval_batch=96, seed=11))
     block_result = agent.run()
-    pruned = agent.apply(block_result)
+    agent.apply(block_result)
+    pruned = agent.model
     fit(pruned, task.train, None, TrainConfig(seed=0, **FINETUNE))
 
     scratch = resnet_like_pruned(pruned, rng=np.random.default_rng(5))

@@ -62,7 +62,8 @@ def main():
         HeadStartConfig(speedup=2.0, max_iterations=40, min_iterations=20,
                         patience=10, eval_batch=96, seed=11))
     result = agent.run()
-    pruned = agent.apply(result)
+    agent.apply(result)
+    pruned = agent.model
     fit(pruned, task.train, None,
         TrainConfig(epochs=6, batch_size=32, lr=0.02, seed=0))
     pruned_accuracy = evaluate_dataset(pruned, task.test)

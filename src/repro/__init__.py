@@ -23,7 +23,8 @@ Quickstart::
                              HeadStartConfig(speedup=2.0)).run()
 """
 
-from . import analysis, core, data, gpusim, models, nn, pruning, runtime, utils
+from . import (analysis, core, data, gpusim, models, nn, obs, pruning,
+               runtime, utils)
 from .core import (BlockHeadStart, FinetuneConfig, HeadStartConfig,
                    HeadStartPruner, LayerAgent, finetune)
 from .runtime import ResumableRunner, RetryPolicy
@@ -36,7 +37,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "nn", "data", "models", "pruning", "core", "gpusim", "analysis", "utils",
-    "runtime",
+    "runtime", "obs",
     "HeadStartConfig", "HeadStartPruner", "LayerAgent", "BlockHeadStart",
     "FinetuneConfig", "finetune", "ResumableRunner", "RetryPolicy",
     "make_cifar100_like", "make_cub200_like",

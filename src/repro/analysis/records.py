@@ -31,6 +31,10 @@ class ExperimentRecord:
     shape_checks:
         Named boolean outcomes of the qualitative expectations
         ("headstart beats li17", "speedup within band", ...).
+    metrics:
+        Optional observability aggregate (counters, gauges, series and
+        span-timing summaries) ingested via :meth:`attach_metrics`, so
+        benchmark scripts pick up run timings for free.
     """
 
     experiment: str
@@ -38,24 +42,45 @@ class ExperimentRecord:
     parameters: dict = field(default_factory=dict)
     results: dict = field(default_factory=dict)
     shape_checks: dict[str, bool] = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
 
     def check(self, name: str, passed: bool) -> bool:
         """Record a named qualitative check; returns ``passed``."""
         self.shape_checks[name] = bool(passed)
         return passed
 
+    def attach_metrics(self, source) -> dict:
+        """Ingest an observability aggregate into the record.
+
+        ``source`` may be a live :class:`repro.obs.Recorder` (its
+        :meth:`~repro.obs.Recorder.aggregate` view is taken), a metrics
+        directory / ``metrics.jsonl`` path, or an already-computed
+        aggregate dict.  Returns the stored aggregate.
+        """
+        if hasattr(source, "aggregate"):
+            self.metrics = source.aggregate()
+        elif isinstance(source, (str, Path)):
+            from .. import obs
+            self.metrics = obs.summarize_dir(source)
+        else:
+            self.metrics = dict(source)
+        return self.metrics
+
     @property
     def all_checks_passed(self) -> bool:
         return all(self.shape_checks.values()) if self.shape_checks else True
 
     def to_json(self) -> str:
-        return json.dumps({
+        payload = {
             "experiment": self.experiment,
             "description": self.description,
             "parameters": self.parameters,
             "results": self.results,
             "shape_checks": self.shape_checks,
-        }, indent=2, default=_coerce)
+        }
+        if self.metrics:
+            payload["metrics"] = self.metrics
+        return json.dumps(payload, indent=2, default=_coerce)
 
     def save(self, path: str | Path) -> Path:
         """Write the record as JSON; returns the path."""
@@ -72,7 +97,8 @@ class ExperimentRecord:
                    description=payload["description"],
                    parameters=payload.get("parameters", {}),
                    results=payload.get("results", {}),
-                   shape_checks=payload.get("shape_checks", {}))
+                   shape_checks=payload.get("shape_checks", {}),
+                   metrics=payload.get("metrics", {}))
 
 
 def _coerce(value):

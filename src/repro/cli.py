@@ -1,24 +1,34 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the experiment lifecycle on synthetic tasks:
+Subcommands cover the experiment lifecycle on synthetic tasks:
 
 * ``train``   — train a registered model on a synthetic task and save a
   checkpoint;
 * ``prune``   — HeadStart-prune a trained checkpoint (layer-wise, or
   block-wise for ResNets) and save the pruned weights;
 * ``profile`` — per-layer parameter/FLOP table of a model;
-* ``fps``     — estimated frames-per-second on the modelled devices.
+* ``fps``     — estimated frames-per-second on the modelled devices;
+* ``metrics`` — summarise (and validate) a ``--metrics-dir`` stream;
+* ``report``  — regenerate EXPERIMENTS.md from benchmark records.
 
-Every command is deterministic under ``--seed``.
+Every command is deterministic under ``--seed``; ``train``, ``prune``
+and ``fps`` accept ``--metrics-dir`` to stream observability events
+(see ``docs/OBSERVABILITY.md``).
+
+Shared argument groups (the synthetic-task block, the model block, the
+metrics block) are defined once as argparse *parent* parsers rather
+than re-declared per command.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 import numpy as np
 
+from . import obs
 from .analysis import Table
 from .core import (BlockHeadStart, FinetuneConfig, HeadStartConfig,
                    HeadStartPruner)
@@ -35,22 +45,62 @@ from .utils import CheckpointError, save_checkpoint, load_checkpoint
 __all__ = ["main", "build_parser"]
 
 
-def _add_task_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--dataset", choices=("cifar", "cub"), default="cifar",
-                        help="synthetic task family (CIFAR- or CUB-like)")
-    parser.add_argument("--classes", type=int, default=10)
-    parser.add_argument("--image-size", type=int, default=16)
-    parser.add_argument("--train-per-class", type=int, default=20)
-    parser.add_argument("--test-per-class", type=int, default=10)
-    parser.add_argument("--data-seed", type=int, default=1)
+def _task_parent() -> argparse.ArgumentParser:
+    """Synthetic-task arguments shared by ``train`` and ``prune``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("task")
+    group.add_argument("--dataset", choices=("cifar", "cub"), default="cifar",
+                       help="synthetic task family (CIFAR- or CUB-like)")
+    group.add_argument("--classes", type=int, default=10)
+    group.add_argument("--image-size", type=int, default=16)
+    group.add_argument("--train-per-class", type=int, default=20)
+    group.add_argument("--test-per-class", type=int, default=10)
+    group.add_argument("--data-seed", type=int, default=1)
+    return parent
 
 
-def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--model", choices=available_models(),
-                        default="vgg16")
-    parser.add_argument("--width", type=float, default=0.25,
-                        help="width multiplier")
-    parser.add_argument("--seed", type=int, default=0)
+def _model_parent(classes: int | None = None,
+                  image_size: int | None = None) -> argparse.ArgumentParser:
+    """Model arguments shared by every command.
+
+    ``profile``/``fps`` have no task block, so they take ``--classes`` /
+    ``--image-size`` here with their own defaults.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("model")
+    group.add_argument("--model", choices=available_models(),
+                       default="vgg16")
+    group.add_argument("--width", type=float, default=0.25,
+                       help="width multiplier")
+    group.add_argument("--seed", type=int, default=0)
+    if classes is not None:
+        group.add_argument("--classes", type=int, default=classes)
+    if image_size is not None:
+        group.add_argument("--image-size", type=int, default=image_size)
+    return parent
+
+
+def _metrics_parent() -> argparse.ArgumentParser:
+    """The ``--metrics-dir`` flag shared by train/prune/fps."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--metrics-dir", default=None,
+                        help="stream observability events (spans, series, "
+                             "counters) to <dir>/metrics.jsonl; summarise "
+                             "with 'repro metrics <dir>'")
+    return parent
+
+
+@contextlib.contextmanager
+def _metrics_recorder(args):
+    """Install a recorder for the command when ``--metrics-dir`` is set."""
+    metrics_dir = getattr(args, "metrics_dir", None)
+    if not metrics_dir:
+        yield None
+        return
+    recorder = obs.Recorder(metrics_dir)
+    with recorder, obs.use_recorder(recorder):
+        yield recorder
+    print(f"metrics written to {recorder.sink.path}")
 
 
 def _make_task(args):
@@ -109,7 +159,8 @@ def _cmd_prune(args) -> int:
         agent = BlockHeadStart(model, task.train.images, task.train.labels,
                                config)
         result = agent.run()
-        model = agent.apply(result)
+        agent.apply(result)
+        model = agent.model
         print(f"learnt block pattern: {model.blocks_per_group} "
               f"(inception accuracy {result.inception_accuracy:.4f})")
         fit(model, task.train, None,
@@ -196,24 +247,75 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _render_metrics_summary(summary: dict) -> str:
+    """Human-readable tables for a metrics-dir aggregate."""
+    parts = []
+    if summary["spans"]:
+        table = Table(["SPAN", "COUNT", "TOTAL S", "MEAN S", "MAX S"],
+                      title="span timings")
+        for name in sorted(summary["spans"]):
+            s = summary["spans"][name]
+            table.add_row([name, s["count"], s["total_s"], s["mean_s"],
+                           s["max_s"]])
+        parts.append(table.render())
+    if summary["counters"]:
+        table = Table(["COUNTER", "TOTAL"])
+        for name in sorted(summary["counters"]):
+            table.add_row([name, summary["counters"][name]])
+        parts.append(table.render())
+    if summary["gauges"]:
+        table = Table(["GAUGE", "LAST"])
+        for name in sorted(summary["gauges"]):
+            table.add_row([name, summary["gauges"][name]])
+        parts.append(table.render())
+    if summary["series"]:
+        table = Table(["SERIES", "POINTS", "FIRST", "LAST", "MIN", "MAX"])
+        for name in sorted(summary["series"]):
+            s = summary["series"][name]
+            table.add_row([name, s["count"], s["first"], s["last"],
+                           s["min"], s["max"]])
+        parts.append(table.render())
+    return "\n\n".join(parts) if parts else "no events recorded"
+
+
+def _cmd_metrics(args) -> int:
+    try:
+        events = obs.load_metrics(args.dir)
+    except obs.MetricsError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.check:
+        problems = obs.validate_events(events)
+        if problems:
+            for problem in problems:
+                print(f"schema violation: {problem}", file=sys.stderr)
+            return 1
+        print(f"{len(events)} events, schema ok")
+    print(_render_metrics_summary(obs.summarize(events)))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
         prog="repro", description="HeadStart reproduction toolbox")
     commands = parser.add_subparsers(dest="command", required=True)
+    task_parent = _task_parent()
+    model_parent = _model_parent()
+    metrics_parent = _metrics_parent()
 
-    train = commands.add_parser("train", help="train a model")
-    _add_task_arguments(train)
-    _add_model_arguments(train)
+    train = commands.add_parser(
+        "train", help="train a model",
+        parents=[task_parent, model_parent, metrics_parent])
     train.add_argument("--epochs", type=int, default=8)
     train.add_argument("--batch-size", type=int, default=32)
     train.add_argument("--lr", type=float, default=0.05)
     train.add_argument("--out", default=None, help="checkpoint path")
     train.set_defaults(handler=_cmd_train)
 
-    prune = commands.add_parser("prune", help="HeadStart-prune a model")
-    _add_task_arguments(prune)
-    _add_model_arguments(prune)
+    prune = commands.add_parser(
+        "prune", help="HeadStart-prune a model",
+        parents=[task_parent, model_parent, metrics_parent])
     prune.add_argument("--checkpoint", default=None)
     prune.add_argument("--mode", choices=("layer", "block"), default="layer")
     prune.add_argument("--speedup", type=float, default=2.0)
@@ -233,19 +335,25 @@ def build_parser() -> argparse.ArgumentParser:
     prune.add_argument("--out", default=None)
     prune.set_defaults(handler=_cmd_prune)
 
-    profile = commands.add_parser("profile", help="per-layer params/FLOPs")
-    _add_model_arguments(profile)
-    profile.add_argument("--classes", type=int, default=10)
-    profile.add_argument("--image-size", type=int, default=32)
+    profile = commands.add_parser(
+        "profile", help="per-layer params/FLOPs",
+        parents=[_model_parent(classes=10, image_size=32)])
     profile.set_defaults(handler=_cmd_profile)
 
-    fps = commands.add_parser("fps", help="estimated fps per device")
-    _add_model_arguments(fps)
-    fps.add_argument("--classes", type=int, default=100)
-    fps.add_argument("--image-size", type=int, default=32)
+    fps = commands.add_parser(
+        "fps", help="estimated fps per device",
+        parents=[_model_parent(classes=100, image_size=32), metrics_parent])
     fps.add_argument("--batch-size", type=int, default=1)
     fps.add_argument("--device", choices=available_devices(), default=None)
     fps.set_defaults(handler=_cmd_fps)
+
+    metrics = commands.add_parser(
+        "metrics", help="summarise a --metrics-dir event stream")
+    metrics.add_argument("dir", help="metrics directory (or .jsonl file)")
+    metrics.add_argument("--check", action="store_true",
+                         help="validate the stream against the event "
+                              "schema; non-zero exit on violations")
+    metrics.set_defaults(handler=_cmd_metrics)
 
     report = commands.add_parser(
         "report", help="regenerate EXPERIMENTS.md from benchmark records")
@@ -258,4 +366,5 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    with _metrics_recorder(args):
+        return args.handler(args)

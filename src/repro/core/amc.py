@@ -24,9 +24,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..data.datasets import as_arrays
 from ..nn.modules import Module
+from ..obs import get_recorder
 from ..pruning.baselines.simple import Li17Pruner
 from ..pruning.baselines.common import PruningContext
+from ..pruning.engine import EngineInfo
 from ..pruning.surgery import channel_mask, prune_unit
 from ..pruning.units import ConvUnit
 from ..training import evaluate
@@ -73,19 +76,27 @@ class AMCLitePruner:
     ----------
     model:
         Model exposing ``prune_units()``.
-    images / labels:
-        Calibration data for the episode reward.
+    data / labels:
+        Calibration data for the episode reward: a ``Dataset`` /
+        ``(images, labels)`` pair as ``data``, or — the original
+        calling convention, still supported — raw image and label
+        arrays as two positional arguments.  Prefer
+        :func:`repro.pruning.build_engine` for new code.
     config:
         Agent hyper-parameters; ``config.speedup`` sets the map budget
         (total kept maps <= total maps / speedup, AMC's resource
         constraint restated in the paper's Eq. 1 terms).
     """
 
-    def __init__(self, model: Module, images: np.ndarray, labels: np.ndarray,
-                 config: AMCConfig = AMCConfig(),
+    def __init__(self, model: Module, data,
+                 labels: np.ndarray | None = None,
+                 config: AMCConfig | None = None,
                  skip_last: bool = True):
         self.model = model
-        self.config = config
+        self.config = config = config if config is not None else AMCConfig()
+        if labels is not None:
+            data = (data, labels)
+        images, labels = as_arrays(data)
         batch = min(config.eval_batch, len(images))
         self.images = images[:batch]
         self.labels = labels[:batch]
@@ -136,26 +147,32 @@ class AMCLitePruner:
     def run(self) -> AMCResult:
         """Train the ratio policy; returns the best episode's masks."""
         config = self.config
+        rec = get_recorder()
         context = PruningContext(self.images, self.labels, self.rng)
         baseline = None
         best = None
         history: list[float] = []
-        for _ in range(config.episodes):
-            ratios, noise = self._sample_ratios()
-            ratios = self._enforce_budget(ratios)
-            masks = self._masks_for(ratios, context)
-            reward = self._masked_accuracy(masks)
-            history.append(reward)
-            if baseline is None:
-                baseline = reward
-            advantage = reward - baseline
-            baseline = 0.9 * baseline + 0.1 * reward
-            # REINFORCE for a Gaussian-perturbed deterministic policy:
-            # grad log pi ~ noise / sigma^2.
-            self.mu += config.lr * advantage * noise / (config.sigma ** 2)
-            if best is None or reward > best[0]:
-                best = (reward, ratios.copy(), masks)
-        best_reward, best_ratios, best_masks = best
+        with rec.span("pruner.run", engine="amc", layers=len(self.units)):
+            for episode in range(config.episodes):
+                ratios, noise = self._sample_ratios()
+                ratios = self._enforce_budget(ratios)
+                masks = self._masks_for(ratios, context)
+                reward = self._masked_accuracy(masks)
+                history.append(reward)
+                if baseline is None:
+                    baseline = reward
+                advantage = reward - baseline
+                baseline = 0.9 * baseline + 0.1 * reward
+                # REINFORCE for a Gaussian-perturbed deterministic policy:
+                # grad log pi ~ noise / sigma^2.
+                self.mu += config.lr * advantage * noise / (config.sigma ** 2)
+                if best is None or reward > best[0]:
+                    best = (reward, ratios.copy(), masks)
+                rec.series("amc/reward", episode, reward)
+                rec.series("amc/baseline", episode, float(baseline))
+                rec.counter("amc/episode_evals")
+            best_reward, best_ratios, best_masks = best
+            rec.gauge("amc/best_accuracy", best_reward)
         keep_counts = [int(best_masks[u.name].sum()) for u in self.units]
         return AMCResult(keep_ratios=best_ratios, keep_counts=keep_counts,
                          best_accuracy=best_reward, reward_history=history,
@@ -166,4 +183,14 @@ class AMCLitePruner:
         removed = 0
         for unit in self.units:
             removed += prune_unit(unit, result.masks[unit.name])
+        get_recorder().counter("pruner/maps_removed", removed)
         return removed
+
+    def describe(self) -> EngineInfo:
+        """Engine metadata (:class:`repro.pruning.PruningEngine` protocol)."""
+        return EngineInfo(
+            name="amc", kind="rl-ratio",
+            action_space="continuous keep ratio per layer "
+                         "(magnitude-ranked within the layer)",
+            description="AMC-lite: REINFORCE over per-layer compression "
+                        "ratios under a FLOPs-style budget.")

@@ -21,7 +21,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..data.datasets import as_arrays
 from ..models.resnet import ResNet
+from ..obs import get_recorder
+from ..pruning.engine import EngineInfo
 from ..training import evaluate
 from .config import HeadStartConfig
 from .policy import HeadStartNetwork
@@ -70,17 +73,25 @@ class BlockHeadStart:
     ----------
     model:
         The ResNet to compress (e.g. ResNet-110).
-    images / labels:
-        Calibration data for reward evaluation.
+    data / labels:
+        Calibration data for reward evaluation: either a ``Dataset`` /
+        ``(images, labels)`` pair as ``data``, or — the original
+        calling convention, still supported — raw image and label
+        arrays as two positional arguments.  Prefer
+        :func:`repro.pruning.build_engine` for new code.
     config:
         HeadStart hyper-parameters; ``config.speedup`` is interpreted
         over blocks (sp=2 halves the block count).
     """
 
-    def __init__(self, model: ResNet, images: np.ndarray, labels: np.ndarray,
-                 config: HeadStartConfig = HeadStartConfig()):
+    def __init__(self, model: ResNet, data, labels: np.ndarray | None = None,
+                 config: HeadStartConfig | None = None):
         self.model = model
-        self.config = config
+        self.config = config = config if config is not None \
+            else HeadStartConfig()
+        if labels is not None:
+            data = (data, labels)
+        images, labels = as_arrays(data)
         batch = min(config.eval_batch, len(images))
         self.images = images[:batch]
         self.labels = labels[:batch]
@@ -136,26 +147,51 @@ class BlockHeadStart:
     # -- main loop -----------------------------------------------------------
     def run(self) -> BlockAgentResult:
         """Train the block policy until the reward stabilises."""
-        original_accuracy = evaluate(self.model, self.images, self.labels)
-        driver = ReinforceDriver(
-            self.policy,
-            reward_fn=lambda action: self._reward(action, original_accuracy),
-            config=self.config, rng=self.rng,
-            final_reward_fn=lambda action: self._reward(
-                action, original_accuracy, full=True))
-        outcome = driver.run()
-        action = outcome.action
-        return BlockAgentResult(
-            keep_action=action.astype(bool),
-            probabilities=outcome.probabilities,
-            iterations=outcome.iterations,
-            reward_history=outcome.reward_history,
-            loss_history=outcome.loss_history,
-            inception_accuracy=self._masked_accuracy(action),
-            blocks_per_group=self.blocks_per_group(action))
+        rec = get_recorder()
+        with rec.span("pruner.run", engine="block",
+                      droppable=len(self.droppable)):
+            original_accuracy = evaluate(self.model, self.images, self.labels)
+            driver = ReinforceDriver(
+                self.policy,
+                reward_fn=lambda action: self._reward(action,
+                                                      original_accuracy),
+                config=self.config, rng=self.rng,
+                final_reward_fn=lambda action: self._reward(
+                    action, original_accuracy, full=True))
+            outcome = driver.run()
+            action = outcome.action
+            result = BlockAgentResult(
+                keep_action=action.astype(bool),
+                probabilities=outcome.probabilities,
+                iterations=outcome.iterations,
+                reward_history=outcome.reward_history,
+                loss_history=outcome.loss_history,
+                inception_accuracy=self._masked_accuracy(action),
+                blocks_per_group=self.blocks_per_group(action))
+            rec.gauge("block/kept_blocks", sum(result.blocks_per_group))
+            rec.gauge("block/inception_accuracy", result.inception_accuracy)
+        return result
 
     def apply(self, result: BlockAgentResult,
-              rng: np.random.Generator | None = None) -> ResNet:
-        """Physically rebuild the ResNet with the learnt block pattern."""
+              rng: np.random.Generator | None = None) -> int:
+        """Physically rebuild the ResNet with the learnt block pattern.
+
+        The rebuilt network replaces :attr:`model`; the return value is
+        the number of residual blocks removed, per the
+        :class:`repro.pruning.PruningEngine` protocol.  (Before the
+        unified engine API this method *returned* the rebuilt ResNet —
+        callers now read it from ``.model``.)
+        """
         keep = self.keep_mask_by_group(result.keep_action)
-        return self.model.with_blocks(keep, rng=rng)
+        self.model = self.model.with_blocks(keep, rng=rng)
+        removed = self.total_blocks - sum(self.model.blocks_per_group)
+        get_recorder().counter("block/blocks_dropped", removed)
+        return removed
+
+    def describe(self) -> EngineInfo:
+        """Engine metadata (:class:`repro.pruning.PruningEngine` protocol)."""
+        return EngineInfo(
+            name="block", kind="rl-block",
+            action_space="binary keep decision per droppable residual block",
+            description="Block-level HeadStart: one policy selects which "
+                        "identity-shortcut blocks of a ResNet survive.")

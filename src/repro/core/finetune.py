@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from ..data.datasets import Dataset
 from ..nn.modules import Module
+from ..obs import get_recorder
 from ..training import History, TrainConfig, fit
 
 __all__ = ["FinetuneConfig", "finetune"]
@@ -40,5 +41,6 @@ def finetune(model: Module, train_set: Dataset, test_set: Dataset | None = None,
     """Fine-tune a pruned model in place; returns the training history."""
     if config is None:
         config = FinetuneConfig()
-    return fit(model, train_set, test_set, config.as_train_config(),
-               transform=transform)
+    with get_recorder().span("training.finetune", epochs=config.epochs):
+        return fit(model, train_set, test_set, config.as_train_config(),
+                   transform=transform)

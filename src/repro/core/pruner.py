@@ -15,8 +15,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..data.datasets import Dataset
+from ..data.datasets import Dataset, as_arrays, as_dataset
 from ..nn.modules import Module
+from ..obs import get_recorder
+from ..pruning.engine import EngineInfo
 from ..pruning.graph import validate_units
 from ..pruning.stats import ModelStats, profile_model
 from ..pruning.surgery import prune_unit
@@ -72,7 +74,12 @@ class HeadStartPruner:
     model:
         Model exposing ``prune_units()``.
     train_set / test_set:
-        Fine-tuning data and the reporting test set.
+        Fine-tuning data and the reporting test set.  Either may be a
+        :class:`Dataset` or a raw ``(images, labels)`` pair — every
+        engine shares one coercion path
+        (:func:`repro.data.datasets.as_arrays`).  Prefer the
+        :func:`repro.pruning.build_engine` factory over calling this
+        constructor directly; the constructor remains supported.
     config:
         RL hyper-parameters (shared by every layer's agent).
     finetune_config:
@@ -98,8 +105,8 @@ class HeadStartPruner:
                 "model's prune_units() wiring is inconsistent: "
                 + "; ".join(problems))
         self.model = model
-        self.train_set = train_set
-        self.test_set = test_set
+        self.train_set = as_dataset(train_set)
+        self.test_set = as_dataset(test_set) if test_set is not None else None
         config = config if config is not None else HeadStartConfig()
         self.config = config
         if finetune_config is _DEFAULT_FINETUNE:
@@ -107,10 +114,7 @@ class HeadStartPruner:
         self.finetune_config = finetune_config
         self.input_shape = input_shape
         if calibration is None:
-            size = min(len(train_set), config.eval_batch)
-            images = np.stack([train_set[i][0] for i in range(size)])
-            labels = np.array([train_set[i][1] for i in range(size)])
-            calibration = (images, labels)
+            calibration = as_arrays(self.train_set, limit=config.eval_batch)
         self.calibration = calibration
 
     def _stats(self) -> ModelStats | None:
@@ -148,33 +152,85 @@ class HeadStartPruner:
         retries and resumes; :meth:`run` is a plain loop over it, so both
         entry points produce identical per-layer results.
         """
+        rec = get_recorder()
         maps_before = unit.num_maps
-        agent_result = self.prune_layer(unit, seed_offset=seed_offset,
-                                        config=config)
-        finetuned_accuracy = None
-        if self.finetune_config is not None:
-            finetune(self.model, self.train_set, config=self.finetune_config)
-        if self.test_set is not None:
-            finetuned_accuracy = evaluate_dataset(self.model, self.test_set)
-        stats = self._stats()
-        log = LayerLog(
-            name=unit.name, maps_before=maps_before,
-            maps_after=agent_result.kept_maps,
-            inception_accuracy=agent_result.inception_accuracy,
-            finetuned_accuracy=finetuned_accuracy,
-            agent_iterations=agent_result.iterations,
-            params_m=stats.params_m if stats else None,
-            flops_b=stats.flops_b if stats else None)
+        with rec.span("prune_layer", layer=unit.name,
+                      maps_before=maps_before):
+            agent_result = self.prune_layer(unit, seed_offset=seed_offset,
+                                            config=config)
+            finetuned_accuracy = None
+            if self.finetune_config is not None:
+                finetune(self.model, self.train_set,
+                         config=self.finetune_config)
+            if self.test_set is not None:
+                finetuned_accuracy = evaluate_dataset(self.model,
+                                                      self.test_set)
+            stats = self._stats()
+            log = LayerLog(
+                name=unit.name, maps_before=maps_before,
+                maps_after=agent_result.kept_maps,
+                inception_accuracy=agent_result.inception_accuracy,
+                finetuned_accuracy=finetuned_accuracy,
+                agent_iterations=agent_result.iterations,
+                params_m=stats.params_m if stats else None,
+                flops_b=stats.flops_b if stats else None)
+        rec.counter("pruner/layers_pruned")
+        rec.counter("pruner/maps_removed", maps_before - log.maps_after)
+        rec.gauge("pruner/inception_accuracy", log.inception_accuracy,
+                  layer=unit.name)
+        if finetuned_accuracy is not None:
+            rec.gauge("pruner/finetuned_accuracy", finetuned_accuracy,
+                      layer=unit.name)
         return log, agent_result
 
     def run(self, skip_last: bool = True) -> HeadStartResult:
         """Prune every layer, fine-tuning in between; returns the full log."""
+        rec = get_recorder()
         outcome = HeadStartResult()
-        for offset, unit in enumerate(self.active_units(skip_last)):
-            log, agent_result = self.run_layer(unit, seed_offset=offset)
-            outcome.layers.append(log)
-            outcome.masks[unit.name] = agent_result.keep_mask
-            outcome.agent_results[unit.name] = agent_result
-        if self.test_set is not None:
-            outcome.final_accuracy = evaluate_dataset(self.model, self.test_set)
+        with rec.span("pruner.run", engine="headstart"):
+            for offset, unit in enumerate(self.active_units(skip_last)):
+                log, agent_result = self.run_layer(unit, seed_offset=offset)
+                outcome.layers.append(log)
+                outcome.masks[unit.name] = agent_result.keep_mask
+                outcome.agent_results[unit.name] = agent_result
+            if self.test_set is not None:
+                outcome.final_accuracy = evaluate_dataset(self.model,
+                                                          self.test_set)
+                rec.gauge("pruner/final_accuracy", outcome.final_accuracy)
+            rec.gauge("pruner/learnt_compression", outcome.learnt_compression)
         return outcome
+
+    def apply(self, result: HeadStartResult) -> int:
+        """Physically apply a result's masks; returns feature maps removed.
+
+        :meth:`run` already performs surgery layer by layer, so calling
+        ``apply`` on the same pruner is a no-op returning 0.  On a pruner
+        wrapping a *fresh* copy of the architecture (the from-scratch
+        control, or a result loaded from a journal) it replays the masks.
+        Part of the :class:`repro.pruning.PruningEngine` protocol.
+        """
+        removed = 0
+        units = {unit.name: unit for unit in self.model.prune_units()}
+        for name, mask in result.masks.items():
+            unit = units.get(name)
+            if unit is None:
+                raise ValueError(f"model has no prunable unit named {name!r}")
+            mask = np.asarray(mask, dtype=bool)
+            kept = int(np.count_nonzero(mask))
+            if unit.num_maps == kept:
+                continue  # already applied
+            if unit.num_maps != mask.size:
+                raise ValueError(
+                    f"mask for {name!r} covers {mask.size} maps but the "
+                    f"unit has {unit.num_maps}")
+            removed += prune_unit(unit, mask)
+        return removed
+
+    def describe(self) -> EngineInfo:
+        """Engine metadata (:class:`repro.pruning.PruningEngine` protocol)."""
+        return EngineInfo(
+            name="headstart", kind="rl-map",
+            action_space="binary keep decision per feature map, per layer",
+            description="Layer-by-layer HeadStart: a REINFORCE-trained "
+                        "head-start network learns each layer's optimal "
+                        "inception, applied with surgery and fine-tuned.")

@@ -23,6 +23,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs import get_recorder
 from ..runtime import faults
 from ..runtime.guards import require_all_finite, require_finite
 from ._optim import _policy_optimizer
@@ -103,7 +104,13 @@ class ReinforceDriver:
     # -- main loop -----------------------------------------------------------
     def run(self) -> ReinforceOutcome:
         """Train until the reward stabilises; return the chosen action."""
+        with get_recorder().span("reinforce.run",
+                                 actions=self.policy.num_maps):
+            return self._run()
+
+    def _run(self) -> ReinforceOutcome:
         config = self.config
+        rec = get_recorder()
         best_reward = -np.inf
         candidates: dict[bytes, tuple[float, np.ndarray]] = {}
         stall = 0
@@ -154,6 +161,14 @@ class ReinforceDriver:
             iteration_reward = float(max(rewards.max(), greedy_reward))
             reward_history.append(iteration_reward)
             loss_history.append(loss_value)
+            rec.series("reinforce/reward", iterations, iteration_reward)
+            rec.series("reinforce/baseline", iterations, float(baseline))
+            rec.series("reinforce/greedy_reward", iterations,
+                       float(greedy_reward))
+            rec.series("reinforce/action_l0", iterations,
+                       int(np.count_nonzero(greedy)))
+            rec.series("reinforce/loss", iterations, loss_value)
+            rec.counter("reinforce/reward_evals", config.mc_samples + 1)
 
             if iteration_reward > best_reward + config.tolerance:
                 best_reward = iteration_reward
@@ -170,6 +185,7 @@ class ReinforceDriver:
                 if exchange is not None:
                     self._remember(candidates, exchange,
                                    self.reward_fn(exchange))
+                    rec.counter("reinforce/reward_evals")
 
             if iterations >= config.min_iterations and stall >= config.patience:
                 break
@@ -179,6 +195,7 @@ class ReinforceDriver:
             final_rewards = [self.final_reward_fn(action)
                              for action in finalists]
             chosen = finalists[int(np.argmax(final_rewards))]
+            rec.counter("reinforce/finalist_evals", len(finalists))
         else:
             chosen = threshold_action(final_probs, config.threshold)
         return ReinforceOutcome(action=chosen, probabilities=final_probs,

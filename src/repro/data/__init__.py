@@ -4,7 +4,8 @@ The synthetic generators stand in for CIFAR-100 and CUB-200-2011 (see
 DESIGN.md for the substitution rationale).
 """
 
-from .datasets import ArrayDataset, DataLoader, Dataset, Subset
+from .datasets import (ArrayDataset, DataLoader, Dataset, Subset, as_arrays,
+                       as_dataset)
 from .segmentation import (SegmentationSpec, SegmentationTask,
                            make_segmentation_task)
 from .synthetic import (SyntheticImageTask, SyntheticSpec, make_cifar100_like,
@@ -13,7 +14,8 @@ from .transforms import (Compose, add_noise, random_horizontal_flip,
                          random_shift, standard_augmentation)
 
 __all__ = [
-    "Dataset", "ArrayDataset", "Subset", "DataLoader",
+    "Dataset", "ArrayDataset", "Subset", "DataLoader", "as_arrays",
+    "as_dataset",
     "SyntheticSpec", "SyntheticImageTask", "make_cifar100_like",
     "make_cub200_like",
     "SegmentationSpec", "SegmentationTask", "make_segmentation_task",

@@ -12,7 +12,8 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["Dataset", "ArrayDataset", "Subset", "DataLoader"]
+__all__ = ["Dataset", "ArrayDataset", "Subset", "DataLoader", "as_arrays",
+           "as_dataset"]
 
 
 class Dataset:
@@ -65,6 +66,50 @@ class Subset(Dataset):
 
     def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
         return self.base[self.indices[index]]
+
+
+def as_arrays(data, limit: int | None = None
+              ) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce calibration data to stacked ``(images, labels)`` arrays.
+
+    Accepts a :class:`Dataset` (``ArrayDataset``'s backing arrays are
+    used directly, anything else is stacked item by item), an
+    ``(images, labels)`` pair of array-likes, or a single ``(N, ...)``
+    images/labels pair already stacked.  ``limit`` caps the number of
+    examples (the usual ``eval_batch`` truncation).  This is the single
+    coercion path shared by every pruning engine, so Datasets and raw
+    arrays are interchangeable everywhere.
+    """
+    if isinstance(data, tuple) and len(data) == 2:
+        images, labels = data
+        images = np.asarray(images)
+        labels = np.asarray(labels)
+    elif isinstance(data, ArrayDataset):
+        images, labels = data.images, data.labels
+    elif isinstance(data, Dataset) or (hasattr(data, "__len__")
+                                       and hasattr(data, "__getitem__")):
+        size = len(data) if limit is None else min(len(data), limit)
+        images = np.stack([data[i][0] for i in range(size)])
+        labels = np.array([data[i][1] for i in range(size)])
+    else:
+        raise TypeError(
+            f"cannot coerce {type(data).__name__} to calibration arrays; "
+            "pass a Dataset or an (images, labels) tuple")
+    if len(images) != len(labels):
+        raise ValueError(
+            f"images ({len(images)}) and labels ({len(labels)}) "
+            "differ in length")
+    if limit is not None:
+        images = images[:limit]
+        labels = labels[:limit]
+    return images, labels
+
+
+def as_dataset(data) -> Dataset:
+    """Coerce ``data`` to a :class:`Dataset` (inverse of :func:`as_arrays`)."""
+    if isinstance(data, Dataset):
+        return data
+    return ArrayDataset(*as_arrays(data))
 
 
 class DataLoader:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..nn.modules import Module
+from ..obs import get_recorder
 from ..pruning.stats import LayerStats, ModelStats, profile_model
 from .device import DeviceSpec
 
@@ -92,7 +93,13 @@ def estimate_latency(model: Module | ModelStats,
         else profile_model(model, input_shape)
     layers = tuple(layer_latency(layer, device, batch_size)
                    for layer in stats.layers)
-    return LatencyReport(device=device, layers=layers, batch_size=batch_size)
+    report = LatencyReport(device=device, layers=layers,
+                           batch_size=batch_size)
+    rec = get_recorder()
+    rec.counter("gpusim/latency_estimates")
+    rec.gauge("gpusim/latency_s", report.latency_s, device=device.name,
+              batch=batch_size)
+    return report
 
 
 def estimate_fps(model: Module | ModelStats, input_shape: tuple[int, int, int],

@@ -1,0 +1,35 @@
+"""``repro.obs`` — lightweight metrics and tracing for pruning runs.
+
+Hierarchical :meth:`~repro.obs.recorder.Recorder.span` timers,
+``counter``/``gauge``/``series`` metrics, a process-wide recorder with
+an in-memory aggregate view plus an append-only JSONL sink, and a no-op
+default (:class:`~repro.obs.recorder.NullRecorder`) so instrumented hot
+paths cost nothing when observability is disabled.
+
+Enable for a run::
+
+    from repro import obs
+    with obs.use_recorder(obs.Recorder("runs/exp1")):
+        HeadStartPruner(model, train, test).run()
+    summary = obs.summarize_dir("runs/exp1")
+
+See ``docs/OBSERVABILITY.md`` for the event schema.
+"""
+
+from .recorder import (NULL_RECORDER, NullRecorder, Recorder, SpanStats,
+                       get_recorder, set_recorder, use_recorder)
+from .schema import (EVENT_TYPES, deterministic_view, validate_event,
+                     validate_events)
+from .sink import (METRICS_FILENAME, MetricsError, MetricsSink, jsonable,
+                   read_events, repair_torn_tail)
+from .summary import load_metrics, summarize, summarize_dir
+
+__all__ = [
+    "Recorder", "NullRecorder", "NULL_RECORDER", "SpanStats",
+    "get_recorder", "set_recorder", "use_recorder",
+    "MetricsSink", "MetricsError", "METRICS_FILENAME",
+    "jsonable", "read_events", "repair_torn_tail",
+    "EVENT_TYPES", "validate_event", "validate_events",
+    "deterministic_view",
+    "load_metrics", "summarize", "summarize_dir",
+]

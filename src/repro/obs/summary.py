@@ -1,0 +1,68 @@
+"""Reading a metrics directory back into an aggregate summary.
+
+``repro metrics <dir>`` and benchmark scripts use these helpers; the
+summary shape mirrors :meth:`repro.obs.recorder.Recorder.aggregate` so
+a live recorder and a re-read stream are interchangeable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .sink import METRICS_FILENAME, read_events
+
+__all__ = ["load_metrics", "summarize", "summarize_dir"]
+
+
+def load_metrics(path: str | Path) -> list[dict]:
+    """Events of a metrics directory (or of a ``.jsonl`` file directly)."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / METRICS_FILENAME
+    return read_events(path)
+
+
+def summarize(events) -> dict:
+    """Replay an event stream into the aggregate summary dict."""
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    series: dict[str, list[float]] = {}
+    spans: dict[str, dict] = {}
+    for record in events:
+        kind = record.get("event")
+        name = record.get("name")
+        if kind == "counter":
+            counters[name] = counters.get(name, 0) + record["value"]
+        elif kind == "gauge":
+            gauges[name] = record["value"]
+        elif kind == "series":
+            series.setdefault(name, []).append(record["value"])
+        elif kind == "span_end":
+            stats = spans.setdefault(
+                name, {"count": 0, "total_s": 0.0,
+                       "min_s": float("inf"), "max_s": 0.0})
+            duration = record["dur"]
+            stats["count"] += 1
+            stats["total_s"] += duration
+            stats["min_s"] = min(stats["min_s"], duration)
+            stats["max_s"] = max(stats["max_s"], duration)
+    for stats in spans.values():
+        stats["mean_s"] = stats["total_s"] / stats["count"]
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "series": {name: {"count": len(values),
+                          "first": values[0], "last": values[-1],
+                          "min": min(values), "max": max(values),
+                          "mean": sum(values) / len(values)}
+                   for name, values in series.items()},
+        "spans": {name: {"count": s["count"], "total_s": s["total_s"],
+                         "mean_s": s["mean_s"], "min_s": s["min_s"],
+                         "max_s": s["max_s"]}
+                  for name, s in spans.items()},
+    }
+
+
+def summarize_dir(path: str | Path) -> dict:
+    """Load and summarise a metrics directory in one call."""
+    return summarize(load_metrics(path))

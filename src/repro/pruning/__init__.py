@@ -1,6 +1,8 @@
 """``repro.pruning`` — structured-pruning substrate and metric baselines."""
 
 from . import baselines
+from .engine import (EngineInfo, MetricEngine, MetricEngineResult,
+                     PruningEngine, available_engines, build_engine)
 from .graph import build_pruning_graph, describe_graph, validate_units
 from .pipeline import (LayerPruneRecord, WholeModelResult, budget_keep_count,
                        prune_whole_model)
@@ -15,6 +17,8 @@ from .units import Consumer, ConvUnit
 
 __all__ = [
     "baselines",
+    "EngineInfo", "PruningEngine", "MetricEngine", "MetricEngineResult",
+    "build_engine", "available_engines",
     "Consumer", "ConvUnit",
     "channel_mask", "prune_unit", "prune_model", "keep_indices",
     "LayerStats", "ModelStats", "profile_model", "compression_ratio",

@@ -1,0 +1,201 @@
+"""Unified pruning-engine API: one protocol, one factory, one telemetry.
+
+Historically every engine invented its own constructor and result shape
+(``HeadStartPruner(model, train_set, ...)``,
+``BlockHeadStart(model, images, labels, ...)``, per-class configs), so
+callers and telemetry special-cased each one.  This module defines the
+common surface:
+
+* :class:`PruningEngine` — the protocol every engine satisfies:
+  ``run()`` trains/scores and returns an engine-specific result,
+  ``apply(result)`` physically prunes and returns the number of
+  structures removed, ``describe()`` returns :class:`EngineInfo`.
+* :func:`build_engine` — name-based factory replacing the per-class
+  constructor zoo.  Calibration data may be a ``Dataset`` or an
+  ``(images, labels)`` pair interchangeably.
+* :class:`MetricEngine` — adapter lifting the one-shot metric baselines
+  (``li17``, ``apoz``, ...) into the same protocol.
+
+Old constructors keep working; the factory is the recommended entry
+point for new code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..data.datasets import as_arrays
+from ..nn.modules import Module
+from ..obs import get_recorder
+from .baselines.common import (Pruner, PruningContext, available_pruners,
+                               build_pruner)
+from .pipeline import budget_keep_count
+from .surgery import prune_unit
+from .units import ConvUnit
+
+__all__ = ["EngineInfo", "PruningEngine", "MetricEngine",
+           "MetricEngineResult", "build_engine", "available_engines"]
+
+#: RL engine names accepted by :func:`build_engine` (metric baseline
+#: names from :func:`available_pruners` are accepted too).
+RL_ENGINES = ("headstart", "block", "amc")
+
+
+@dataclass(frozen=True)
+class EngineInfo:
+    """Metadata every engine reports through ``describe()``."""
+
+    name: str
+    kind: str            # "rl-map" | "rl-block" | "rl-ratio" | "metric"
+    action_space: str    # what the engine's decision variable ranges over
+    description: str = ""
+
+
+@runtime_checkable
+class PruningEngine(Protocol):
+    """The surface shared by every pruning engine.
+
+    ``run()`` returns an engine-specific result object (masks, logs,
+    histories); ``apply(result)`` physically prunes the engine's model
+    and returns the number of structures (feature maps or blocks)
+    removed; ``describe()`` returns :class:`EngineInfo`.
+    """
+
+    def run(self) -> Any: ...
+
+    def apply(self, result: Any) -> int: ...
+
+    def describe(self) -> EngineInfo: ...
+
+
+@dataclass
+class MetricEngineResult:
+    """Outcome of a metric-baseline engine run."""
+
+    masks: dict[str, np.ndarray] = field(default_factory=dict)
+    keep_counts: dict[str, int] = field(default_factory=dict)
+
+
+class MetricEngine:
+    """One-shot metric baseline (Li'17, APoZ, ...) as a `PruningEngine`.
+
+    Parameters
+    ----------
+    pruner:
+        A registered pruner name or a :class:`Pruner` instance.
+    model:
+        Model exposing ``prune_units()``.
+    data:
+        Calibration data — a ``Dataset`` or ``(images, labels)`` pair.
+    speedup:
+        Per-layer survivor budget ``C / sp`` (Eq. 1 constraint).
+    """
+
+    def __init__(self, pruner: Pruner | str, model: Module, data,
+                 speedup: float = 2.0, eval_batch: int = 128, seed: int = 0,
+                 skip_last: bool = True):
+        self.pruner = build_pruner(pruner) if isinstance(pruner, str) \
+            else pruner
+        self.model = model
+        images, labels = as_arrays(data, limit=eval_batch)
+        self.context = PruningContext(images, labels,
+                                      np.random.default_rng(seed))
+        self.speedup = float(speedup)
+        units = model.prune_units()
+        self.units: list[ConvUnit] = \
+            units[:-1] if (skip_last and len(units) > 1) else units
+        if not self.units:
+            raise ValueError("model exposes no prunable units")
+
+    def run(self) -> MetricEngineResult:
+        """Score every unit against its budget; no surgery yet."""
+        rec = get_recorder()
+        result = MetricEngineResult()
+        with rec.span("metric_engine.run", metric=self.pruner.name):
+            for unit in self.units:
+                keep_count = budget_keep_count(unit.num_maps, self.speedup)
+                with rec.span("prune_layer", layer=unit.name,
+                              maps_before=unit.num_maps):
+                    mask = self.pruner.select(self.model, unit, keep_count,
+                                              self.context)
+                result.masks[unit.name] = mask
+                result.keep_counts[unit.name] = int(np.count_nonzero(mask))
+                rec.counter("pruner/layers_pruned")
+        return result
+
+    def apply(self, result: MetricEngineResult) -> int:
+        """Physically prune the model; returns feature maps removed."""
+        removed = 0
+        units = {unit.name: unit for unit in self.model.prune_units()}
+        for name, mask in result.masks.items():
+            removed += prune_unit(units[name], mask)
+        get_recorder().counter("pruner/maps_removed", removed)
+        return removed
+
+    def describe(self) -> EngineInfo:
+        return EngineInfo(
+            name=self.pruner.name or type(self.pruner).__name__,
+            kind="metric",
+            action_space="top-k feature maps per layer by a local score",
+            description=(type(self.pruner).__doc__ or "").strip()
+            .split("\n")[0])
+
+
+def available_engines() -> list[str]:
+    """Every name :func:`build_engine` accepts."""
+    return sorted([*RL_ENGINES, *available_pruners()])
+
+
+def build_engine(name: str, model: Module, data, config=None,
+                 **kwargs) -> PruningEngine:
+    """Construct any pruning engine from one uniform signature.
+
+    Parameters
+    ----------
+    name:
+        ``"headstart"`` (layer-wise RL), ``"block"`` (residual-block RL),
+        ``"amc"`` (AMC-lite per-layer ratios) or any registered metric
+        baseline name (``li17``, ``apoz``, ...).
+    model:
+        The model to compress.
+    data:
+        Calibration/fine-tuning data — a ``Dataset`` or an
+        ``(images, labels)`` pair; each engine coerces it through
+        :func:`repro.data.datasets.as_arrays`.
+    config:
+        Engine config: :class:`~repro.core.config.HeadStartConfig` for
+        ``headstart``/``block``, :class:`~repro.core.amc.AMCConfig` for
+        ``amc``; for metric engines, any object with ``speedup`` /
+        ``eval_batch`` / ``seed`` attributes (or pass those as keyword
+        arguments instead).
+    kwargs:
+        Forwarded to the engine constructor (e.g. ``test_set=``,
+        ``finetune_config=`` for ``headstart``; ``skip_last=``).
+    """
+    # Engines live in repro.core, which imports this module for
+    # EngineInfo — resolve them lazily to keep the import graph acyclic.
+    from ..core.amc import AMCConfig, AMCLitePruner
+    from ..core.blocks import BlockHeadStart
+    from ..core.config import HeadStartConfig
+    from ..core.pruner import HeadStartPruner
+
+    if name == "headstart":
+        return HeadStartPruner(model, data,
+                               config=config or HeadStartConfig(), **kwargs)
+    if name == "block":
+        return BlockHeadStart(model, data,
+                              config=config or HeadStartConfig(), **kwargs)
+    if name == "amc":
+        return AMCLitePruner(model, data, config=config or AMCConfig(),
+                             **kwargs)
+    if name in available_pruners():
+        if config is not None:
+            kwargs.setdefault("speedup", config.speedup)
+            kwargs.setdefault("eval_batch", config.eval_batch)
+            kwargs.setdefault("seed", config.seed)
+        return MetricEngine(name, model, data, **kwargs)
+    raise ValueError(
+        f"unknown engine {name!r}; available: {available_engines()}")

@@ -36,6 +36,7 @@ from ..core.finetune import FinetuneConfig
 from ..core.pruner import (HeadStartPruner, HeadStartResult, LayerLog,
                            _DEFAULT_FINETUNE)
 from ..nn.numeric import NonFiniteError
+from ..obs import get_recorder
 from ..pruning.surgery import prune_unit
 from ..training import evaluate, evaluate_dataset
 from ..utils.serialization import load_checkpoint, save_checkpoint
@@ -243,10 +244,16 @@ class ResumableRunner:
                     failures.append(failure)
                     journal.append({"record": "layer_attempt_failed",
                                     "index": index, "name": name, **failure})
+                    # Mirror the journal's failure record into the
+                    # metrics stream so retries show up in summaries.
+                    get_recorder().counter("runtime/layer_retries", 1,
+                                           layer=name, kind=failure["kind"])
                     self._restore(backup)
             if layer_outcome is None:
                 journal.append({"record": "layer_skipped", "index": index,
                                 "name": name, "failures": failures})
+                get_recorder().counter("runtime/layers_skipped", 1,
+                                       layer=name)
                 report.skipped_layers.append(name)
                 continue
             if failures:

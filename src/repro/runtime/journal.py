@@ -15,31 +15,19 @@ truncated final line (the layer it described simply re-runs on resume).
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 import os
 from pathlib import Path
 from typing import Any, Iterable
 
+from ..obs.sink import jsonable as _jsonable
+from ..obs.sink import repair_torn_tail
 from .errors import JournalError
 
 __all__ = ["FORMAT_VERSION", "RunJournal", "config_digest"]
 
 FORMAT_VERSION = 1
-
-
-def _jsonable(value: Any) -> Any:
-    """Recursively convert dataclasses/numpy scalars/arrays to JSON types."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return _jsonable(dataclasses.asdict(value))
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if hasattr(value, "tolist"):  # numpy arrays and scalars
-        return value.tolist()
-    return value
 
 
 def config_digest(*parts: Any) -> str:
@@ -71,26 +59,8 @@ class RunJournal:
 
     # -- writing -----------------------------------------------------------
     def _repair_torn_tail(self) -> None:
-        """Drop a torn trailing line (crash mid-write, no final newline).
-
-        Without this, appending after a crash would concatenate the new
-        record onto the partial line, corrupting *both* records and making
-        every later :meth:`read` fail.  The torn record is already lost
-        (``read`` ignores it), so truncating back to the last complete
-        line is safe and keeps the file one-record-per-line.
-        """
-        try:
-            if self.path.stat().st_size == 0:
-                return
-        except FileNotFoundError:
-            return
-        with open(self.path, "rb+") as handle:
-            data = handle.read()
-            if data.endswith(b"\n"):
-                return
-            handle.truncate(data.rfind(b"\n") + 1)
-            handle.flush()
-            os.fsync(handle.fileno())
+        """Drop a torn trailing line (shared with :mod:`repro.obs.sink`)."""
+        repair_torn_tail(self.path, fsync=True)
 
     def append(self, record: dict) -> dict:
         """Durably append one record (adds the ``record`` key's siblings)."""

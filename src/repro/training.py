@@ -8,11 +8,13 @@ comparisons differ only in *which filters survive*.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .data.datasets import DataLoader, Dataset
+from .obs import get_recorder
 from .nn import functional as F
 from .nn.metrics import accuracy
 from .nn.modules import Module
@@ -151,11 +153,25 @@ def fit(model: Module, train_set: Dataset, test_set: Dataset | None = None,
                     momentum=config.momentum,
                     weight_decay=config.weight_decay)
     history = History()
-    for _ in range(config.epochs):
-        loss, train_acc = train_epoch(model, loader, optimizer,
-                                      max_grad_norm=config.max_grad_norm)
-        history.train_loss.append(loss)
-        history.train_accuracy.append(train_acc)
-        if test_set is not None:
-            history.test_accuracy.append(evaluate_dataset(model, test_set))
+    rec = get_recorder()
+    with rec.span("training.fit", epochs=config.epochs,
+                  examples=len(train_set)):
+        for epoch in range(config.epochs):
+            started = time.perf_counter()
+            with rec.span("training.epoch", epoch=epoch):
+                loss, train_acc = train_epoch(
+                    model, loader, optimizer,
+                    max_grad_norm=config.max_grad_norm)
+            elapsed = time.perf_counter() - started
+            history.train_loss.append(loss)
+            history.train_accuracy.append(train_acc)
+            rec.series("train/loss", epoch, loss)
+            rec.series("train/accuracy", epoch, train_acc)
+            rec.series("train/throughput", epoch,
+                       len(train_set) / max(elapsed, 1e-9), timing=True)
+            rec.counter("train/examples_seen", len(train_set))
+            if test_set is not None:
+                test_acc = evaluate_dataset(model, test_set)
+                history.test_accuracy.append(test_acc)
+                rec.series("train/test_accuracy", epoch, test_acc)
     return history

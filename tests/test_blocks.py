@@ -69,12 +69,15 @@ class TestBlockHeadStart:
         assert len(result.reward_history) == result.iterations
 
     def test_apply_builds_pruned_resnet(self, resnet_copy, calibration):
+        total_before = sum(resnet_copy.blocks_per_group)
         agent = BlockHeadStart(resnet_copy, *calibration, quick_config())
         result = agent.run()
-        pruned = agent.apply(result)
+        removed = agent.apply(result)
+        pruned = agent.model
         assert isinstance(pruned, ResNet)
         assert pruned.blocks_per_group == result.blocks_per_group
-        assert sum(pruned.blocks_per_group) <= sum(resnet_copy.blocks_per_group)
+        assert removed == total_before - sum(pruned.blocks_per_group)
+        assert sum(pruned.blocks_per_group) <= total_before
 
     def test_sparsity_near_block_target(self, resnet_copy, calibration):
         config = quick_config(speedup=2.0, max_iterations=15,

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
+
+PRUNE_ARGS = ["prune", "--model", "lenet", "--classes", "4",
+              "--image-size", "12", "--train-per-class", "6",
+              "--test-per-class", "3", "--epochs", "1",
+              "--iterations", "6", "--finetune-epochs", "1",
+              "--eval-batch", "16"]
 
 
 class TestParser:
@@ -22,6 +29,16 @@ class TestParser:
         assert args.mode == "block"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["prune", "--mode", "magic"])
+
+    def test_metrics_dir_is_shared_across_commands(self):
+        for command in (["train"], ["prune"], ["fps"]):
+            args = build_parser().parse_args(
+                command + ["--metrics-dir", "m"])
+            assert args.metrics_dir == "m"
+        # profile/metrics/report do not record, so no flag there.
+        for command in (["profile"], ["metrics", "m"], ["report"]):
+            args = build_parser().parse_args(command)
+            assert getattr(args, "metrics_dir", None) is None
 
     def test_fps_device_choices(self):
         args = build_parser().parse_args(["fps", "--device", "tx2_gpu"])
@@ -91,6 +108,62 @@ class TestCommands:
         code = main(["prune", "--model", "lenet", "--resume"])
         assert code == 2
         assert "--run-dir" in capsys.readouterr().err
+
+
+class TestMetricsCommand:
+    def run_prune(self, tmp_path, name, seed="0"):
+        metrics_dir = tmp_path / name
+        code = main(PRUNE_ARGS + ["--seed", seed,
+                                  "--metrics-dir", str(metrics_dir)])
+        assert code == 0
+        return metrics_dir
+
+    def test_prune_emits_schema_valid_stream(self, tmp_path, capsys):
+        metrics_dir = self.run_prune(tmp_path, "m")
+        assert "metrics written to" in capsys.readouterr().out
+        events = obs.load_metrics(metrics_dir)
+        assert obs.validate_events(events) == []
+        # The documented signals are present: per-layer spans and
+        # per-iteration reward series.
+        span_names = {e["name"] for e in events
+                      if e["event"] == "span_start"}
+        assert {"pruner.run", "prune_layer",
+                "reinforce.run"} <= span_names
+        series_names = {e["name"] for e in events
+                        if e["event"] == "series"}
+        assert {"reinforce/reward", "reinforce/baseline",
+                "reinforce/action_l0", "train/loss"} <= series_names
+
+    def test_repeat_seeded_run_is_deterministic(self, tmp_path, capsys):
+        first = self.run_prune(tmp_path, "m1")
+        second = self.run_prune(tmp_path, "m2")
+        view_a = obs.deterministic_view(obs.load_metrics(first))
+        view_b = obs.deterministic_view(obs.load_metrics(second))
+        assert view_a == view_b
+
+    def test_no_metrics_dir_leaves_noop_recorder(self, tmp_path, capsys):
+        assert main(PRUNE_ARGS + ["--seed", "3"]) == 0
+        assert obs.get_recorder() is obs.NULL_RECORDER
+        assert "metrics written" not in capsys.readouterr().out
+
+    def test_metrics_command_summarises_and_checks(self, tmp_path, capsys):
+        metrics_dir = self.run_prune(tmp_path, "m")
+        capsys.readouterr()
+        assert main(["metrics", str(metrics_dir), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "schema ok" in out
+        assert "prune_layer" in out
+        assert "reinforce/reward" in out
+
+    def test_metrics_command_rejects_invalid_stream(self, tmp_path, capsys):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text('{"event":"gauge","name":"g"}\n')
+        assert main(["metrics", str(tmp_path), "--check"]) == 1
+        assert "schema violation" in capsys.readouterr().err
+
+    def test_metrics_command_errors_on_missing_dir(self, tmp_path, capsys):
+        assert main(["metrics", str(tmp_path / "absent")]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestReportCommand:

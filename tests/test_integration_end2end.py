@@ -120,7 +120,8 @@ class TestFullPipeline:
             HeadStartConfig(speedup=2.0, max_iterations=10, min_iterations=5,
                             patience=4, eval_batch=48, seed=0))
         result = agent.run()
-        pruned = agent.apply(result)
+        agent.apply(result)
+        pruned = agent.model
         fit(pruned, task.train, None, TrainConfig(epochs=2, batch_size=24,
                                                   lr=0.02, seed=0))
         accuracy = evaluate_dataset(pruned, task.test)
