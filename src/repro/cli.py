@@ -4,8 +4,11 @@ Subcommands cover the experiment lifecycle on synthetic tasks:
 
 * ``train``   — train a registered model on a synthetic task and save a
   checkpoint;
-* ``prune``   — HeadStart-prune a trained checkpoint (layer-wise, or
-  block-wise for ResNets) and save the pruned weights;
+* ``prune``   — prune a trained checkpoint (HeadStart layer-wise,
+  block-wise for ResNets, or AMC-lite) and save the pruned weights;
+  ``--run-dir`` journals any mode for crash-safe resume, ``--fallback``
+  and ``--step-seconds``/``--step-evals`` add graceful degradation and
+  watchdog budgets (see ``docs/ROBUSTNESS.md``);
 * ``profile`` — per-layer parameter/FLOP table of a model;
 * ``fps``     — estimated frames-per-second on the modelled devices;
 * ``metrics`` — summarise (and validate) a ``--metrics-dir`` stream;
@@ -30,15 +33,16 @@ import numpy as np
 
 from . import obs
 from .analysis import Table
-from .core import (BlockHeadStart, FinetuneConfig, HeadStartConfig,
-                   HeadStartPruner)
+from .core import (AMCConfig, AMCLitePruner, BlockHeadStart, FinetuneConfig,
+                   HeadStartConfig, HeadStartPruner)
 from .data import make_cifar100_like, make_cub200_like
 from .analysis.report import write_experiments_markdown
 from .gpusim import (available_devices, estimate_energy, estimate_fps,
                      get_device)
 from .models import ResNet, available_models, build_model
 from .pruning import profile_model
-from .runtime import (JournalError, ResumableRunner, ResumeMismatchError)
+from .runtime import (FallbackChain, JournalError, ResumableRunner,
+                      ResumeMismatchError, StepBudget)
 from .training import TrainConfig, evaluate_dataset, fit
 from .utils import CheckpointError, save_checkpoint, load_checkpoint
 
@@ -130,13 +134,56 @@ def _cmd_train(args) -> int:
     return 0
 
 
+def _runtime_options(args) -> dict:
+    """``budget``/``fallback`` runner kwargs from the robustness flags.
+
+    Raises :class:`ValueError` on an invalid budget or an unknown
+    fallback engine name (surfaced as exit code 2 by ``_cmd_prune``).
+    """
+    budget = None
+    if args.step_seconds is not None or args.step_evals is not None:
+        budget = StepBudget(max_seconds=args.step_seconds,
+                            max_evals=args.step_evals)
+    fallback = None
+    if args.fallback:
+        engines = tuple(name.strip() for name in args.fallback.split(",")
+                        if name.strip())
+        fallback = FallbackChain(engines=engines, seed=args.seed)
+    return {"budget": budget, "fallback": fallback}
+
+
+def _journaled_run(runner, args):
+    """Run/resume under the journal; returns ``(report, exit_code)``.
+
+    ``report`` is ``None`` when the run failed to start (bad journal,
+    config mismatch, unreadable checkpoint); shared resumed/degraded/
+    skipped reporting happens here so every mode prints identically.
+    """
+    try:
+        report = runner.run(args.run_dir, resume=args.resume)
+    except (JournalError, ResumeMismatchError, CheckpointError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None, 2
+    if report.resumed_layers:
+        print(f"resumed after {report.resumed_layers} journaled "
+              f"step(s) from {report.journal_path}")
+    for name, engine in sorted(report.degraded_steps.items()):
+        print(f"step {name} completed by fallback engine {engine}")
+    for name in report.skipped_layers:
+        print(f"step {name} skipped after exhausting retries "
+              f"(see journal)", file=sys.stderr)
+    return report, 0
+
+
 def _cmd_prune(args) -> int:
     if args.resume and not args.run_dir:
         print("error: --resume requires --run-dir", file=sys.stderr)
         return 2
-    if args.mode == "block" and (args.run_dir or args.resume):
-        print("warning: --run-dir/--resume only apply to layer mode; "
-              "this block run will not be journaled", file=sys.stderr)
+    try:
+        options = _runtime_options(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     task = _make_task(args)
     model = _make_model(args)
     if args.checkpoint:
@@ -156,16 +203,60 @@ def _cmd_prune(args) -> int:
         if not isinstance(model, ResNet):
             print("block mode requires a ResNet", file=sys.stderr)
             return 2
-        agent = BlockHeadStart(model, task.train.images, task.train.labels,
-                               config)
-        result = agent.run()
-        agent.apply(result)
-        model = agent.model
-        print(f"learnt block pattern: {model.blocks_per_group} "
-              f"(inception accuracy {result.inception_accuracy:.4f})")
+        engine = BlockHeadStart(model, task.train.images, task.train.labels,
+                                config)
+        inception = None
+        if args.run_dir:
+            # Neither block nor AMC steps finetune in place, so the
+            # accuracy-collapse guard would misfire; disable it.
+            runner = ResumableRunner(engine=engine, collapse_ratio=0.0,
+                                     **options)
+            report, code = _journaled_run(runner, args)
+            if report is None:
+                return code
+            for log in report.result.steps:
+                if log.get("name") == "blocks":
+                    inception = log.get("inception_accuracy")
+        else:
+            result = engine.run()
+            engine.apply(result)
+            inception = result.inception_accuracy
+        model = engine.model
+        pattern = f"learnt block pattern: {model.blocks_per_group}"
+        if inception is not None:
+            pattern += f" (inception accuracy {inception:.4f})"
+        print(pattern)
         fit(model, task.train, None,
             TrainConfig(epochs=args.finetune_epochs, batch_size=args.batch_size,
                         lr=args.lr / 2, seed=args.seed))
+    elif args.mode == "amc":
+        amc_config = AMCConfig(speedup=args.speedup, episodes=args.iterations,
+                               eval_batch=args.eval_batch, seed=args.seed)
+        engine = AMCLitePruner(model, task.train.images, task.train.labels,
+                               amc_config)
+        if args.run_dir:
+            runner = ResumableRunner(engine=engine, collapse_ratio=0.0,
+                                     **options)
+            report, code = _journaled_run(runner, args)
+            if report is None:
+                return code
+            masks = report.result.masks
+            best = next((log.get("best_accuracy")
+                         for log in report.result.steps
+                         if log.get("name") == "sweep"), None)
+        else:
+            result = engine.run()
+            engine.apply(result)
+            masks = result.masks
+            best = result.best_accuracy
+        model = engine.model
+        if best is not None:
+            print(f"amc best masked accuracy: {best:.4f}")
+        table = Table(["LAYER", "#MAPS", "#AFTER"])
+        for name, mask in masks.items():
+            mask = np.asarray(mask, dtype=bool)
+            table.add_row([name, int(mask.size), int(mask.sum())])
+        print(table.render())
     else:
         finetune_config = FinetuneConfig(epochs=args.finetune_epochs,
                                          batch_size=args.batch_size,
@@ -173,21 +264,13 @@ def _cmd_prune(args) -> int:
         if args.run_dir:
             runner = ResumableRunner(model, task.train, task.test,
                                      config=config,
-                                     finetune_config=finetune_config)
-            try:
-                report = runner.run(args.run_dir, resume=args.resume)
-            except (JournalError, ResumeMismatchError,
-                    CheckpointError) as error:
-                print(f"error: {error}", file=sys.stderr)
-                return 2
+                                     finetune_config=finetune_config,
+                                     **options)
+            report, code = _journaled_run(runner, args)
+            if report is None:
+                return code
             result = report.result
             model = runner.model
-            if report.resumed_layers:
-                print(f"resumed after {report.resumed_layers} journaled "
-                      f"layer(s) from {report.journal_path}")
-            for name in report.skipped_layers:
-                print(f"layer {name} skipped after exhausting retries "
-                      f"(see journal)", file=sys.stderr)
         else:
             pruner = HeadStartPruner(model, task.train, task.test,
                                      config=config,
@@ -280,7 +363,9 @@ def _render_metrics_summary(summary: dict) -> str:
 
 def _cmd_metrics(args) -> int:
     try:
-        events = obs.load_metrics(args.dir)
+        # --check is an integrity gate: a torn final line (lost data)
+        # must fail it, so the strict reader is used there.
+        events = obs.load_metrics(args.dir, strict=args.check)
     except obs.MetricsError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -317,7 +402,8 @@ def build_parser() -> argparse.ArgumentParser:
         "prune", help="HeadStart-prune a model",
         parents=[task_parent, model_parent, metrics_parent])
     prune.add_argument("--checkpoint", default=None)
-    prune.add_argument("--mode", choices=("layer", "block"), default="layer")
+    prune.add_argument("--mode", choices=("layer", "block", "amc"),
+                       default="layer")
     prune.add_argument("--speedup", type=float, default=2.0)
     prune.add_argument("--iterations", type=int, default=30)
     prune.add_argument("--eval-batch", type=int, default=96)
@@ -327,11 +413,20 @@ def build_parser() -> argparse.ArgumentParser:
     prune.add_argument("--batch-size", type=int, default=32)
     prune.add_argument("--lr", type=float, default=0.05)
     prune.add_argument("--run-dir", default=None,
-                       help="journal + per-layer checkpoints here, making "
-                            "the run crash-safe (layer mode only)")
+                       help="journal + per-step checkpoints here, making "
+                            "the run crash-safe and resumable (any mode)")
     prune.add_argument("--resume", action="store_true",
                        help="continue the run journaled in --run-dir from "
-                            "its first incomplete layer")
+                            "its first incomplete step")
+    prune.add_argument("--fallback", default=None, metavar="ENGINES",
+                       help="comma-separated baseline engines (e.g. "
+                            "'taylor,thinet') that complete a step whose "
+                            "primary engine exhausts its retries (journaled "
+                            "runs only; degradations are reported)")
+    prune.add_argument("--step-seconds", type=float, default=None,
+                       help="wall-clock watchdog budget per pruning step")
+    prune.add_argument("--step-evals", type=int, default=None,
+                       help="reward/loss evaluation budget per pruning step")
     prune.add_argument("--out", default=None)
     prune.set_defaults(handler=_cmd_prune)
 

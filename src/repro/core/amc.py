@@ -29,9 +29,13 @@ from ..nn.modules import Module
 from ..obs import get_recorder
 from ..pruning.baselines.simple import Li17Pruner
 from ..pruning.baselines.common import PruningContext
-from ..pruning.engine import EngineInfo
+from ..pruning.engine import (EngineInfo, StepOutcome, StepSpec, StepState,
+                              SteppedEngineBase, _unit_by_name)
 from ..pruning.surgery import channel_mask, prune_unit
 from ..pruning.units import ConvUnit
+from ..runtime import faults
+from ..runtime.errors import DivergenceError
+from ..runtime.guards import require_finite
 from ..training import evaluate
 
 __all__ = ["AMCConfig", "AMCResult", "AMCLitePruner"]
@@ -69,7 +73,7 @@ class AMCResult:
     masks: dict[str, np.ndarray] = field(default_factory=dict)
 
 
-class AMCLitePruner:
+class AMCLitePruner(SteppedEngineBase):
     """Learns per-layer keep ratios with REINFORCE, prunes by magnitude.
 
     Parameters
@@ -101,6 +105,7 @@ class AMCLitePruner:
         self.images = images[:batch]
         self.labels = labels[:batch]
         self.rng = np.random.default_rng(config.seed)
+        self.skip_last = bool(skip_last)
         units = model.prune_units()
         self.units: list[ConvUnit] = \
             units[:-1] if (skip_last and len(units) > 1) else units
@@ -114,69 +119,87 @@ class AMCLitePruner:
         self.selector = Li17Pruner()
 
     # -- episode machinery ----------------------------------------------
-    def _sample_ratios(self) -> np.ndarray:
-        noise = self.rng.normal(scale=self.config.sigma, size=self.mu.shape)
-        ratios = 1.0 / (1.0 + np.exp(-(self.mu + noise)))
-        return np.clip(ratios, self.config.min_keep_ratio, 1.0), noise
+    def _sample_ratios(self, config: AMCConfig, rng: np.random.Generator,
+                       mu: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        noise = rng.normal(scale=config.sigma, size=mu.shape)
+        ratios = 1.0 / (1.0 + np.exp(-(mu + noise)))
+        return np.clip(ratios, config.min_keep_ratio, 1.0), noise
 
-    def _enforce_budget(self, ratios: np.ndarray) -> np.ndarray:
+    def _enforce_budget(self, ratios: np.ndarray, units: list[ConvUnit],
+                        config: AMCConfig) -> np.ndarray:
         """Rescale ratios so the total kept maps respect the budget."""
-        budget = self.total_maps / self.config.speedup
-        kept = sum(r * u.num_maps for r, u in zip(ratios, self.units))
+        total_maps = sum(u.num_maps for u in units)
+        budget = total_maps / config.speedup
+        kept = sum(r * u.num_maps for r, u in zip(ratios, units))
         if kept <= budget:
             return ratios
         scale = budget / kept
-        return np.clip(ratios * scale, self.config.min_keep_ratio, 1.0)
+        return np.clip(ratios * scale, config.min_keep_ratio, 1.0)
 
-    def _masks_for(self, ratios: np.ndarray,
+    def _masks_for(self, ratios: np.ndarray, units: list[ConvUnit],
                    context: PruningContext) -> dict[str, np.ndarray]:
         masks = {}
-        for ratio, unit in zip(ratios, self.units):
+        for ratio, unit in zip(ratios, units):
             keep = max(1, int(round(ratio * unit.num_maps)))
             masks[unit.name] = self.selector.select(self.model, unit, keep,
                                                     context)
         return masks
 
-    def _masked_accuracy(self, masks: dict[str, np.ndarray]) -> float:
+    def _masked_accuracy(self, masks: dict[str, np.ndarray],
+                         units: list[ConvUnit]) -> float:
         with contextlib.ExitStack() as stack:
-            for unit in self.units:
+            for unit in units:
                 stack.enter_context(channel_mask(unit, masks[unit.name]))
             return evaluate(self.model, self.images, self.labels)
+
+    def _search(self, config: AMCConfig, rng: np.random.Generator,
+                units: list[ConvUnit], mu: np.ndarray) -> AMCResult:
+        """The REINFORCE episode loop over an explicit policy state.
+
+        ``mu`` is updated in place, so :meth:`run` (passing ``self.mu``)
+        keeps its historical semantics while the stepped protocol passes
+        a fresh copy per attempt.  Each episode's reward passes through
+        the ``amc.reward`` fault/watchdog hook, making the sweep both
+        injectable and budget-bounded.
+        """
+        rec = get_recorder()
+        context = PruningContext(self.images, self.labels, rng)
+        baseline = None
+        best = None
+        history: list[float] = []
+        for episode in range(config.episodes):
+            ratios, noise = self._sample_ratios(config, rng, mu)
+            ratios = self._enforce_budget(ratios, units, config)
+            masks = self._masks_for(ratios, units, context)
+            reward = self._masked_accuracy(masks, units)
+            reward = faults.corrupt("amc.reward", reward)
+            require_finite(reward, "amc.reward", iteration=episode)
+            history.append(reward)
+            if baseline is None:
+                baseline = reward
+            advantage = reward - baseline
+            baseline = 0.9 * baseline + 0.1 * reward
+            # REINFORCE for a Gaussian-perturbed deterministic policy:
+            # grad log pi ~ noise / sigma^2.
+            mu += config.lr * advantage * noise / (config.sigma ** 2)
+            if best is None or reward > best[0]:
+                best = (reward, ratios.copy(), masks)
+            rec.series("amc/reward", episode, reward)
+            rec.series("amc/baseline", episode, float(baseline))
+            rec.counter("amc/episode_evals")
+        best_reward, best_ratios, best_masks = best
+        rec.gauge("amc/best_accuracy", best_reward)
+        keep_counts = [int(best_masks[u.name].sum()) for u in units]
+        return AMCResult(keep_ratios=best_ratios, keep_counts=keep_counts,
+                         best_accuracy=best_reward, reward_history=history,
+                         masks=best_masks)
 
     # -- training ----------------------------------------------------------
     def run(self) -> AMCResult:
         """Train the ratio policy; returns the best episode's masks."""
-        config = self.config
         rec = get_recorder()
-        context = PruningContext(self.images, self.labels, self.rng)
-        baseline = None
-        best = None
-        history: list[float] = []
         with rec.span("pruner.run", engine="amc", layers=len(self.units)):
-            for episode in range(config.episodes):
-                ratios, noise = self._sample_ratios()
-                ratios = self._enforce_budget(ratios)
-                masks = self._masks_for(ratios, context)
-                reward = self._masked_accuracy(masks)
-                history.append(reward)
-                if baseline is None:
-                    baseline = reward
-                advantage = reward - baseline
-                baseline = 0.9 * baseline + 0.1 * reward
-                # REINFORCE for a Gaussian-perturbed deterministic policy:
-                # grad log pi ~ noise / sigma^2.
-                self.mu += config.lr * advantage * noise / (config.sigma ** 2)
-                if best is None or reward > best[0]:
-                    best = (reward, ratios.copy(), masks)
-                rec.series("amc/reward", episode, reward)
-                rec.series("amc/baseline", episode, float(baseline))
-                rec.counter("amc/episode_evals")
-            best_reward, best_ratios, best_masks = best
-            rec.gauge("amc/best_accuracy", best_reward)
-        keep_counts = [int(best_masks[u.name].sum()) for u in self.units]
-        return AMCResult(keep_ratios=best_ratios, keep_counts=keep_counts,
-                         best_accuracy=best_reward, reward_history=history,
-                         masks=best_masks)
+            return self._search(self.config, self.rng, self.units, self.mu)
 
     def apply(self, result: AMCResult) -> int:
         """Physically prune the model with the learnt masks."""
@@ -185,6 +208,85 @@ class AMCLitePruner:
             removed += prune_unit(unit, result.masks[unit.name])
         get_recorder().counter("pruner/maps_removed", removed)
         return removed
+
+    # -- stepped protocol (driven by repro.runtime.harness) -----------------
+    def _active_units(self) -> list[ConvUnit]:
+        units = self.model.prune_units()
+        return units[:-1] if (self.skip_last and len(units) > 1) else units
+
+    def _fresh_mu(self, config: AMCConfig, count: int) -> np.ndarray:
+        target = np.clip(1.0 / config.speedup, 0.02, 0.98)
+        return np.full(count, float(np.log(target / (1.0 - target))))
+
+    def steps(self) -> list[StepSpec]:
+        """One whole-model ratio sweep, then one surgery step per unit.
+
+        The sweep only *decides* (its payload is every unit's mask);
+        surgery is per-unit so a torn run resumes mid-model exactly like
+        the other engines.  A failed sweep can degrade to metric masks
+        for every unit; a failed unit step re-decides just that unit.
+        """
+        units = self._active_units()
+        specs = [StepSpec(name="sweep", index=0, kind="sweep",
+                          fallback_targets=tuple(u.name for u in units))]
+        specs.extend(
+            StepSpec(name=unit.name, index=index + 1, kind="unit",
+                     fallback_targets=(unit.name,))
+            for index, unit in enumerate(units))
+        return specs
+
+    def run_step(self, spec: StepSpec, state: StepState) -> StepOutcome:
+        if spec.kind == "sweep":
+            config = state.config_override or self.config
+            rng = np.random.default_rng(config.seed)
+            units = self._active_units()
+            mu = self._fresh_mu(config, len(units))
+            with get_recorder().span("pruner.run", engine="amc",
+                                     layers=len(units)):
+                result = self._search(config, rng, units, mu)
+            return StepOutcome(
+                payload={"masks": {name: np.asarray(mask, dtype=bool)
+                                   for name, mask in result.masks.items()},
+                         "keep_ratios": [float(r)
+                                         for r in result.keep_ratios]},
+                log={"name": spec.name,
+                     "best_accuracy": float(result.best_accuracy),
+                     "episodes": len(result.reward_history)},
+                accuracy=None,
+                extra={"amc_result": result})
+        sweep = state.payloads.get("sweep") or {}
+        masks = sweep.get("masks") or {}
+        if spec.name not in masks:
+            # A skipped/failed sweep leaves the unit undecidable by the
+            # primary policy; raising a DivergenceError lets the harness
+            # degrade the unit to a fallback engine instead of crashing.
+            raise DivergenceError("amc.missing_sweep", layer=spec.name,
+                                  detail="no sweep mask for this unit "
+                                         "(sweep step failed or skipped)")
+        unit = _unit_by_name(self.model, spec.name)
+        mask = np.asarray(masks[spec.name], dtype=bool)
+        return StepOutcome(
+            payload={"mask": mask},
+            log={"name": spec.name, "maps_before": int(unit.num_maps),
+                 "maps_after": int(np.count_nonzero(mask))})
+
+    def apply_step(self, spec: StepSpec, outcome: StepOutcome,
+                   state: StepState) -> None:
+        if spec.kind == "sweep":
+            # Decision-only step: surgery happens in the per-unit steps.
+            return
+        unit = _unit_by_name(self.model, spec.name)
+        mask = np.asarray(outcome.payload["mask"], dtype=bool)
+        outcome.removed = prune_unit(unit, mask)
+        get_recorder().counter("pruner/maps_removed", outcome.removed)
+        if state.need_accuracy:
+            outcome.accuracy = self.current_accuracy()
+
+    def replay_step(self, spec: StepSpec, payload: dict) -> None:
+        if spec.kind == "sweep":
+            return
+        unit = _unit_by_name(self.model, spec.name)
+        prune_unit(unit, np.asarray(payload["mask"], dtype=bool))
 
     def describe(self) -> EngineInfo:
         """Engine metadata (:class:`repro.pruning.PruningEngine` protocol)."""

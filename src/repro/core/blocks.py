@@ -24,7 +24,8 @@ import numpy as np
 from ..data.datasets import as_arrays
 from ..models.resnet import ResNet
 from ..obs import get_recorder
-from ..pruning.engine import EngineInfo
+from ..pruning.engine import (EngineInfo, StepOutcome, StepSpec, StepState,
+                              SteppedEngineBase)
 from ..training import evaluate
 from .config import HeadStartConfig
 from .policy import HeadStartNetwork
@@ -66,7 +67,7 @@ class BlockAgentResult:
     blocks_per_group: tuple[int, int, int] = (0, 0, 0)
 
 
-class BlockHeadStart:
+class BlockHeadStart(SteppedEngineBase):
     """Learns which residual blocks of a ResNet to keep.
 
     Parameters
@@ -145,32 +146,84 @@ class BlockHeadStart:
         return tuple(max(1, sum(flags)) for flags in keep)  # type: ignore[return-value]
 
     # -- main loop -----------------------------------------------------------
+    def _search(self, config: HeadStartConfig, rng: np.random.Generator,
+                policy: HeadStartNetwork) -> BlockAgentResult:
+        """Train ``policy`` with the shared REINFORCE driver.
+
+        Factored out of :meth:`run` so the stepped protocol can retry
+        with a *fresh* policy/rng pair (reseeded by the retry config)
+        without perturbing the instance-level ones.
+        """
+        original_accuracy = evaluate(self.model, self.images, self.labels)
+        driver = ReinforceDriver(
+            policy,
+            reward_fn=lambda action: self._reward(action, original_accuracy),
+            config=config, rng=rng,
+            final_reward_fn=lambda action: self._reward(
+                action, original_accuracy, full=True))
+        outcome = driver.run()
+        action = outcome.action
+        return BlockAgentResult(
+            keep_action=action.astype(bool),
+            probabilities=outcome.probabilities,
+            iterations=outcome.iterations,
+            reward_history=outcome.reward_history,
+            loss_history=outcome.loss_history,
+            inception_accuracy=self._masked_accuracy(action),
+            blocks_per_group=self.blocks_per_group(action))
+
     def run(self) -> BlockAgentResult:
         """Train the block policy until the reward stabilises."""
         rec = get_recorder()
         with rec.span("pruner.run", engine="block",
                       droppable=len(self.droppable)):
-            original_accuracy = evaluate(self.model, self.images, self.labels)
-            driver = ReinforceDriver(
-                self.policy,
-                reward_fn=lambda action: self._reward(action,
-                                                      original_accuracy),
-                config=self.config, rng=self.rng,
-                final_reward_fn=lambda action: self._reward(
-                    action, original_accuracy, full=True))
-            outcome = driver.run()
-            action = outcome.action
-            result = BlockAgentResult(
-                keep_action=action.astype(bool),
-                probabilities=outcome.probabilities,
-                iterations=outcome.iterations,
-                reward_history=outcome.reward_history,
-                loss_history=outcome.loss_history,
-                inception_accuracy=self._masked_accuracy(action),
-                blocks_per_group=self.blocks_per_group(action))
+            result = self._search(self.config, self.rng, self.policy)
             rec.gauge("block/kept_blocks", sum(result.blocks_per_group))
             rec.gauge("block/inception_accuracy", result.inception_accuracy)
         return result
+
+    # -- stepped protocol (driven by repro.runtime.harness) -----------------
+    def steps(self) -> list[StepSpec]:
+        # One all-or-nothing step; no per-unit fallback exists for block
+        # bypassing, so an exhausted step is skipped rather than degraded.
+        return [StepSpec(name="blocks", index=0, kind="blocks")]
+
+    def run_step(self, spec: StepSpec, state: StepState) -> StepOutcome:
+        config = state.config_override or self.config
+        rng = np.random.default_rng(config.seed)
+        policy = HeadStartNetwork(len(self.droppable),
+                                  noise_size=config.noise_size,
+                                  hidden_channels=config.hidden_channels,
+                                  keep_ratio=1.0 / config.speedup,
+                                  rng=rng)
+        rec = get_recorder()
+        with rec.span("pruner.run", engine="block",
+                      droppable=len(self.droppable)):
+            result = self._search(config, rng, policy)
+            rec.gauge("block/kept_blocks", sum(result.blocks_per_group))
+            rec.gauge("block/inception_accuracy", result.inception_accuracy)
+        keep = self.keep_mask_by_group(result.keep_action)
+        return StepOutcome(
+            payload={"keep": [[bool(flag) for flag in group]
+                              for group in keep]},
+            log={"name": spec.name,
+                 "blocks_per_group": [int(n) for n in
+                                      result.blocks_per_group],
+                 "inception_accuracy": float(result.inception_accuracy),
+                 "agent_iterations": int(result.iterations)},
+            extra={"agent_result": result})
+
+    def apply_step(self, spec: StepSpec, outcome: StepOutcome,
+                   state: StepState) -> None:
+        before = sum(self.model.blocks_per_group)
+        self.model = self.model.with_blocks(outcome.payload["keep"])
+        outcome.removed = before - sum(self.model.blocks_per_group)
+        get_recorder().counter("block/blocks_dropped", outcome.removed)
+        if state.need_accuracy:
+            outcome.accuracy = evaluate(self.model, self.images, self.labels)
+
+    def replay_step(self, spec: StepSpec, payload: dict) -> None:
+        self.model = self.model.with_blocks(payload["keep"])
 
     def apply(self, result: BlockAgentResult,
               rng: np.random.Generator | None = None) -> int:

@@ -18,7 +18,8 @@ import numpy as np
 from ..data.datasets import Dataset, as_arrays, as_dataset
 from ..nn.modules import Module
 from ..obs import get_recorder
-from ..pruning.engine import EngineInfo
+from ..pruning.engine import (EngineInfo, StepOutcome, StepSpec, StepState,
+                              SteppedEngineBase, _unit_by_name)
 from ..pruning.graph import validate_units
 from ..pruning.stats import ModelStats, profile_model
 from ..pruning.surgery import prune_unit
@@ -66,7 +67,7 @@ class HeadStartResult:
         return after / before if before else 1.0
 
 
-class HeadStartPruner:
+class HeadStartPruner(SteppedEngineBase):
     """Drives layer-by-layer HeadStart pruning of a whole model.
 
     Parameters
@@ -91,6 +92,9 @@ class HeadStartPruner:
     input_shape:
         Image shape for per-layer params/FLOPs logging; when ``None``
         the static columns are omitted.
+    skip_last:
+        Whether a stepped/whole-model run leaves the final prunable unit
+        intact (the classifier's feature extractor, paper protocol).
     """
 
     def __init__(self, model: Module, train_set: Dataset,
@@ -98,7 +102,8 @@ class HeadStartPruner:
                  config: HeadStartConfig | None = None,
                  finetune_config: FinetuneConfig | None = _DEFAULT_FINETUNE,
                  calibration: tuple[np.ndarray, np.ndarray] | None = None,
-                 input_shape: tuple[int, int, int] | None = None):
+                 input_shape: tuple[int, int, int] | None = None,
+                 skip_last: bool = True):
         problems = validate_units(model.prune_units())
         if problems:
             raise ValueError(
@@ -116,6 +121,7 @@ class HeadStartPruner:
         if calibration is None:
             calibration = as_arrays(self.train_set, limit=config.eval_batch)
         self.calibration = calibration
+        self.skip_last = bool(skip_last)
 
     def _stats(self) -> ModelStats | None:
         if self.input_shape is None:
@@ -199,6 +205,100 @@ class HeadStartPruner:
                 rec.gauge("pruner/final_accuracy", outcome.final_accuracy)
             rec.gauge("pruner/learnt_compression", outcome.learnt_compression)
         return outcome
+
+    # -- stepped protocol (driven by repro.runtime.harness) -----------------
+    def steps(self) -> list[StepSpec]:
+        return [StepSpec(name=unit.name, index=index, kind="layer",
+                         fallback_targets=(unit.name,))
+                for index, unit in enumerate(self.active_units(self.skip_last))]
+
+    def run_step(self, spec: StepSpec, state: StepState) -> StepOutcome:
+        """Train the layer's head-start agent; no surgery yet.
+
+        The decision (keep mask) is the journalable payload; the trained
+        agent result rides along in ``extra`` for :meth:`apply_step` and
+        the in-memory :class:`HeadStartResult`.
+        """
+        unit = _unit_by_name(self.model, spec.name)
+        config = state.config_override
+        if config is None:
+            config = dataclasses.replace(
+                self.config, seed=self.config.seed + spec.index)
+        with get_recorder().span("prune_layer", layer=unit.name,
+                                 maps_before=unit.num_maps):
+            agent_result = LayerAgent(self.model, unit, *self.calibration,
+                                      config=config).run()
+        mask = np.asarray(agent_result.keep_mask, dtype=bool)
+        return StepOutcome(payload={"mask": mask},
+                           extra={"agent_result": agent_result})
+
+    def apply_step(self, spec: StepSpec, outcome: StepOutcome,
+                   state: StepState) -> None:
+        """Surgery + inter-layer fine-tune; fills the Table-1 log row."""
+        unit = _unit_by_name(self.model, spec.name)
+        mask = np.asarray(outcome.payload["mask"], dtype=bool)
+        maps_before = unit.num_maps
+        outcome.removed = prune_unit(unit, mask)
+        agent_result = outcome.extra.get("agent_result")
+        if agent_result is not None:
+            inception = float(agent_result.inception_accuracy)
+            iterations = int(agent_result.iterations)
+        else:
+            # Fallback-produced mask: no agent ran, so the "inception"
+            # accuracy is simply the post-surgery calibration accuracy.
+            inception = self.current_accuracy()
+            iterations = 0
+        if self.finetune_config is not None:
+            finetune(self.model, self.train_set, config=self.finetune_config)
+        finetuned_accuracy = None
+        if self.test_set is not None:
+            finetuned_accuracy = evaluate_dataset(self.model, self.test_set)
+        stats = self._stats()
+        outcome.log = dataclasses.asdict(LayerLog(
+            name=spec.name, maps_before=maps_before,
+            maps_after=int(np.count_nonzero(mask)),
+            inception_accuracy=inception,
+            finetuned_accuracy=finetuned_accuracy,
+            agent_iterations=iterations,
+            params_m=stats.params_m if stats else None,
+            flops_b=stats.flops_b if stats else None))
+        rec = get_recorder()
+        rec.counter("pruner/layers_pruned")
+        rec.counter("pruner/maps_removed", outcome.removed)
+        rec.gauge("pruner/inception_accuracy", inception, layer=spec.name)
+        if finetuned_accuracy is not None:
+            rec.gauge("pruner/finetuned_accuracy", finetuned_accuracy,
+                      layer=spec.name)
+        if state.need_accuracy:
+            outcome.accuracy = self.current_accuracy()
+
+    def calibration_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.calibration
+
+    def new_result(self) -> HeadStartResult:
+        return HeadStartResult()
+
+    def accumulate(self, result: HeadStartResult, spec: StepSpec,
+                   outcome: StepOutcome) -> None:
+        if outcome.log is not None:
+            result.layers.append(LayerLog(**outcome.log))
+        result.masks[spec.name] = np.asarray(outcome.payload["mask"],
+                                             dtype=bool)
+        agent_result = outcome.extra.get("agent_result")
+        if agent_result is not None:
+            result.agent_results[spec.name] = agent_result
+
+    def finalize(self, result: HeadStartResult) -> None:
+        if self.test_set is not None:
+            result.final_accuracy = evaluate_dataset(self.model,
+                                                     self.test_set)
+        else:
+            result.final_accuracy = self.current_accuracy()
+        get_recorder().gauge("pruner/final_accuracy", result.final_accuracy)
+
+    def fingerprint(self) -> dict:
+        return {"engine": "headstart", "config": self.config,
+                "finetune": self.finetune_config}
 
     def apply(self, result: HeadStartResult) -> int:
         """Physically apply a result's masks; returns feature maps removed.

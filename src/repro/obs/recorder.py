@@ -68,6 +68,9 @@ class NullRecorder:
                timing: bool = False, **attrs) -> None:
         pass
 
+    def mark(self, name: str, **attrs) -> None:
+        pass
+
     def flush(self) -> None:
         pass
 
@@ -144,6 +147,7 @@ class Recorder:
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self.series_data: dict[str, list[tuple[int, float]]] = {}
+        self.marks: dict[str, int] = {}
         self.span_stats: dict[str, SpanStats] = {}
         self._stack: list[int] = []
         self._next_span_id = 1
@@ -216,6 +220,19 @@ class Recorder:
             record["attrs"] = attrs
         self._emit(record)
 
+    def mark(self, name: str, **attrs) -> None:
+        """Record a point-in-time annotation with no value attached.
+
+        Marks flag notable run events (a degraded step, a rollback) so
+        they are visible on a timeline without abusing counters; the
+        aggregate view only keeps per-name occurrence counts.
+        """
+        self.marks[name] = self.marks.get(name, 0) + 1
+        record = {"event": "mark", "name": name, "t": time.time()}
+        if attrs:
+            record["attrs"] = attrs
+        self._emit(record)
+
     # -- aggregate view ----------------------------------------------------
     def aggregate(self) -> dict:
         """In-memory summary: counters, gauges, series and span timings.
@@ -241,6 +258,7 @@ class Recorder:
         return {"counters": dict(self.counters),
                 "gauges": dict(self.gauges),
                 "series": series,
+                "marks": dict(self.marks),
                 "spans": spans}
 
     # -- lifecycle ---------------------------------------------------------

@@ -14,6 +14,9 @@ event                   required fields
 ``gauge``               ``name`` (str), ``value`` (number); optional ``attrs``
 ``series``              ``name`` (str), ``step`` (int), ``value`` (number);
                         optional ``attrs``, optional ``timing`` (bool)
+``mark``                ``name`` (str), ``t`` (number); optional ``attrs`` —
+                        a point-in-time annotation (e.g. a runtime
+                        degradation), no value attached
 ======================  =====================================================
 
 Wall-clock data lives only in ``t``/``dur`` and in events flagged
@@ -28,7 +31,8 @@ from numbers import Number
 __all__ = ["EVENT_TYPES", "validate_event", "validate_events",
            "deterministic_view"]
 
-EVENT_TYPES = ("span_start", "span_end", "counter", "gauge", "series")
+EVENT_TYPES = ("span_start", "span_end", "counter", "gauge", "series",
+               "mark")
 
 #: event -> {field: type or tuple of types}; None marks "int or null".
 _REQUIRED: dict[str, dict] = {
@@ -39,6 +43,7 @@ _REQUIRED: dict[str, dict] = {
     "counter": {"name": str, "value": Number},
     "gauge": {"name": str, "value": Number},
     "series": {"name": str, "step": int, "value": Number},
+    "mark": {"name": str, "t": Number},
 }
 
 

@@ -65,11 +65,14 @@ def repair_torn_tail(path: str | Path, fsync: bool = False) -> None:
             os.fsync(handle.fileno())
 
 
-def read_events(path: str | Path) -> list[dict]:
+def read_events(path: str | Path, strict: bool = False) -> list[dict]:
     """All intact records of a JSONL stream; a torn trailing line is dropped.
 
     Raises :class:`MetricsError` when the file is missing or a record
-    *before* the final line fails to parse.
+    *before* the final line fails to parse.  With ``strict=True`` a torn
+    *final* line is also an error instead of being silently dropped —
+    integrity checks (``repro metrics --check``) must not bless a stream
+    that lost data, even tolerably.
     """
     path = Path(path)
     if not path.exists():
@@ -85,6 +88,9 @@ def read_events(path: str | Path) -> list[dict]:
         except json.JSONDecodeError:
             if index == len(lines) - 1 or all(
                     not later.strip() for later in lines[index + 1:]):
+                if strict:
+                    raise MetricsError(
+                        f"torn final line {index + 1} in {path}") from None
                 break  # torn final write from a crash — ignore
             raise MetricsError(
                 f"corrupt metrics line {index + 1} in {path}") from None

@@ -14,12 +14,16 @@ from .sink import METRICS_FILENAME, read_events
 __all__ = ["load_metrics", "summarize", "summarize_dir"]
 
 
-def load_metrics(path: str | Path) -> list[dict]:
-    """Events of a metrics directory (or of a ``.jsonl`` file directly)."""
+def load_metrics(path: str | Path, strict: bool = False) -> list[dict]:
+    """Events of a metrics directory (or of a ``.jsonl`` file directly).
+
+    ``strict=True`` refuses a stream with a torn final line (see
+    :func:`repro.obs.sink.read_events`).
+    """
     path = Path(path)
     if path.is_dir():
         path = path / METRICS_FILENAME
-    return read_events(path)
+    return read_events(path, strict=strict)
 
 
 def summarize(events) -> dict:
@@ -27,6 +31,7 @@ def summarize(events) -> dict:
     counters: dict[str, float] = {}
     gauges: dict[str, float] = {}
     series: dict[str, list[float]] = {}
+    marks: dict[str, int] = {}
     spans: dict[str, dict] = {}
     for record in events:
         kind = record.get("event")
@@ -37,6 +42,8 @@ def summarize(events) -> dict:
             gauges[name] = record["value"]
         elif kind == "series":
             series.setdefault(name, []).append(record["value"])
+        elif kind == "mark":
+            marks[name] = marks.get(name, 0) + 1
         elif kind == "span_end":
             stats = spans.setdefault(
                 name, {"count": 0, "total_s": 0.0,
@@ -56,6 +63,7 @@ def summarize(events) -> dict:
                           "min": min(values), "max": max(values),
                           "mean": sum(values) / len(values)}
                    for name, values in series.items()},
+        "marks": marks,
         "spans": {name: {"count": s["count"], "total_s": s["total_s"],
                          "mean_s": s["mean_s"], "min_s": s["min_s"],
                          "max_s": s["max_s"]}

@@ -2,7 +2,9 @@
 
 from . import baselines
 from .engine import (EngineInfo, MetricEngine, MetricEngineResult,
-                     PruningEngine, available_engines, build_engine)
+                     PruningEngine, StepOutcome, StepSpec, StepState,
+                     SteppedEngine, SteppedEngineBase, SteppedResult,
+                     available_engines, build_engine)
 from .graph import build_pruning_graph, describe_graph, validate_units
 from .pipeline import (LayerPruneRecord, WholeModelResult, budget_keep_count,
                        prune_whole_model)
@@ -19,6 +21,8 @@ __all__ = [
     "baselines",
     "EngineInfo", "PruningEngine", "MetricEngine", "MetricEngineResult",
     "build_engine", "available_engines",
+    "SteppedEngine", "SteppedEngineBase", "SteppedResult",
+    "StepSpec", "StepOutcome", "StepState",
     "Consumer", "ConvUnit",
     "channel_mask", "prune_unit", "prune_model", "keep_indices",
     "LayerStats", "ModelStats", "profile_model", "compression_ratio",

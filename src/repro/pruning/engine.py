@@ -15,6 +15,17 @@ common surface:
   ``(images, labels)`` pair interchangeably.
 * :class:`MetricEngine` — adapter lifting the one-shot metric baselines
   (``li17``, ``apoz``, ...) into the same protocol.
+* :class:`SteppedEngine` — the *step-oriented* protocol the
+  fault-tolerant runtime drives: an engine exposes its work as an
+  ordered list of :class:`StepSpec`\\ s, each decided by ``run_step``
+  (pure computation, journalable payload) and materialised by
+  ``apply_step`` (surgery / fine-tune, mutates ``engine.model``).
+  ``replay_step`` re-applies a journaled payload without re-deciding,
+  which is what makes resume bit-for-bit exact.  All four engine kinds
+  implement it (:class:`~repro.core.pruner.HeadStartPruner` per layer,
+  :class:`~repro.core.blocks.BlockHeadStart` as one block-pattern step,
+  :class:`~repro.core.amc.AMCLitePruner` as a ratio sweep plus per-unit
+  surgery steps, :class:`MetricEngine` per unit).
 
 Old constructors keep working; the factory is the recommended entry
 point for new code.
@@ -30,6 +41,7 @@ import numpy as np
 from ..data.datasets import as_arrays
 from ..nn.modules import Module
 from ..obs import get_recorder
+from ..runtime import faults
 from .baselines.common import (Pruner, PruningContext, available_pruners,
                                build_pruner)
 from .pipeline import budget_keep_count
@@ -37,7 +49,9 @@ from .surgery import prune_unit
 from .units import ConvUnit
 
 __all__ = ["EngineInfo", "PruningEngine", "MetricEngine",
-           "MetricEngineResult", "build_engine", "available_engines"]
+           "MetricEngineResult", "build_engine", "available_engines",
+           "StepSpec", "StepOutcome", "StepState", "SteppedResult",
+           "SteppedEngine", "SteppedEngineBase"]
 
 #: RL engine names accepted by :func:`build_engine` (metric baseline
 #: names from :func:`available_pruners` are accepted too).
@@ -71,6 +85,189 @@ class PruningEngine(Protocol):
     def describe(self) -> EngineInfo: ...
 
 
+# ---------------------------------------------------------------------------
+# The step-oriented protocol driven by the fault-tolerant runtime.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StepSpec:
+    """One unit of journalable work in a stepped engine's plan.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier journaled with the step (a unit name, or a
+        synthetic name like ``"blocks"`` / ``"sweep"``).
+    index:
+        Position in the engine's plan (0-based); doubles as the seed
+        offset for per-step self-seeding.
+    kind:
+        ``"layer"`` (decide + surgery + fine-tune), ``"blocks"`` (block
+        pattern), ``"sweep"`` (whole-model decision, no surgery) or
+        ``"unit"`` (apply one unit's mask).
+    fallback_targets:
+        Unit names a :class:`~repro.runtime.fallback.FallbackChain` may
+        re-decide when this step is exhausted; empty means the step
+        cannot degrade (it is skipped instead).
+    """
+
+    name: str
+    index: int
+    kind: str = "layer"
+    fallback_targets: tuple[str, ...] = ()
+
+
+@dataclass
+class StepOutcome:
+    """What one step produced.
+
+    ``payload`` is the journaled decision — everything ``replay_step``
+    needs to reproduce the step's surgery on resume.  ``log`` is the
+    journaled human-facing row (a :class:`~repro.core.pruner.LayerLog`
+    dict for layer steps).  ``accuracy`` feeds the harness's collapse
+    guard; ``extra`` holds runtime-only objects (agent results) that are
+    *not* journaled and therefore absent after a resume.
+    """
+
+    payload: dict
+    log: dict | None = None
+    accuracy: float | None = None
+    removed: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class StepState:
+    """Mutable context the harness threads through a step's attempts."""
+
+    attempt: int = 0
+    config_override: Any = None
+    need_accuracy: bool = False
+    payloads: dict[str, dict] = field(default_factory=dict)
+
+
+@dataclass
+class SteppedResult:
+    """Generic accumulated outcome of a stepped run (non-HeadStart engines)."""
+
+    steps: list[dict] = field(default_factory=list)
+    payloads: dict[str, dict] = field(default_factory=dict)
+    masks: dict[str, np.ndarray] = field(default_factory=dict)
+    final_accuracy: float | None = None
+
+
+@runtime_checkable
+class SteppedEngine(Protocol):
+    """Step-oriented engine surface the fault-tolerant runtime drives.
+
+    Beyond these three methods an engine exposes ``model`` (the object
+    being pruned, replaced wholesale on rollback), plus the bookkeeping
+    hooks :class:`SteppedEngineBase` provides default implementations
+    for (``new_result``/``accumulate``/``finalize``,
+    ``current_accuracy``, ``retry_config``, ``fallback_keep_count``/
+    ``fallback_outcome``, ``fingerprint``, ``calibration_arrays``,
+    ``replay_step``).
+    """
+
+    def steps(self) -> list[StepSpec]: ...
+
+    def run_step(self, spec: StepSpec, state: StepState) -> StepOutcome: ...
+
+    def apply_step(self, spec: StepSpec, outcome: StepOutcome,
+                   state: StepState) -> None: ...
+
+
+def _unit_by_name(model, name: str) -> ConvUnit:
+    for unit in model.prune_units():
+        if unit.name == name:
+            return unit
+    raise ValueError(f"model has no prunable unit named {name!r}")
+
+
+class SteppedEngineBase:
+    """Shared bookkeeping for stepped engines.
+
+    Subclasses provide ``model``, a ``config`` with a ``speedup`` field,
+    ``describe()`` and the three core protocol methods; this base
+    supplies result accumulation, the calibration-batch accuracy used by
+    the collapse guard, generic retry reseeding and the metric-fallback
+    plumbing.  Everything here re-derives units from ``self.model`` on
+    each call — the harness replaces ``model`` wholesale on rollback, so
+    cached :class:`~repro.pruning.units.ConvUnit` handles would go stale.
+    """
+
+    # -- result bookkeeping -------------------------------------------------
+    def new_result(self) -> SteppedResult:
+        return SteppedResult()
+
+    def accumulate(self, result, spec: StepSpec,
+                   outcome: StepOutcome) -> None:
+        if outcome.log is not None:
+            result.steps.append(dict(outcome.log))
+        result.payloads[spec.name] = outcome.payload
+        payload = outcome.payload or {}
+        if "mask" in payload:
+            result.masks[spec.name] = np.asarray(payload["mask"], dtype=bool)
+        for name, mask in (payload.get("masks") or {}).items():
+            result.masks[name] = np.asarray(mask, dtype=bool)
+
+    def finalize(self, result) -> None:
+        result.final_accuracy = self.current_accuracy()
+
+    # -- accuracy baseline --------------------------------------------------
+    def calibration_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.images, self.labels
+
+    def current_accuracy(self) -> float:
+        from ..training import evaluate
+        images, labels = self.calibration_arrays()
+        return evaluate(self.model, images, labels)
+
+    # -- retry / fallback ---------------------------------------------------
+    def retry_config(self, spec: StepSpec, policy, attempt: int):
+        """Config override for retry ``attempt`` (1-based) of ``spec``."""
+        return policy.config_for(self.config, spec.index, attempt)
+
+    def fallback_keep_count(self, name: str) -> int:
+        """The survivor budget a fallback engine must honour for a unit."""
+        unit = _unit_by_name(self.model, name)
+        return budget_keep_count(unit.num_maps, self.config.speedup)
+
+    def fallback_outcome(self, spec: StepSpec, masks: dict,
+                         engine_name: str) -> StepOutcome:
+        """Wrap fallback-selected masks as this engine's step outcome."""
+        if spec.fallback_targets == (spec.name,):
+            payload = {"mask": np.asarray(masks[spec.name], dtype=bool),
+                       "engine": engine_name}
+        else:
+            payload = {"masks": {name: np.asarray(mask, dtype=bool)
+                                 for name, mask in masks.items()},
+                       "engine": engine_name}
+        return StepOutcome(payload=payload,
+                           log={"name": spec.name, "engine": engine_name})
+
+    # -- resume -------------------------------------------------------------
+    def replay_step(self, spec: StepSpec, payload: dict) -> None:
+        """Re-apply a journaled decision without re-deciding it.
+
+        The default re-runs the surgery implied by the payload's
+        ``mask``/``masks`` keys; engines whose surgery is not per-unit
+        (block bypassing, decision-only sweeps) override this.
+        """
+        payload = payload or {}
+        if "mask" in payload:
+            prune_unit(_unit_by_name(self.model, spec.name),
+                       np.asarray(payload["mask"], dtype=bool))
+        for name, mask in (payload.get("masks") or {}).items():
+            prune_unit(_unit_by_name(self.model, name),
+                       np.asarray(mask, dtype=bool))
+
+    # -- identity -----------------------------------------------------------
+    def fingerprint(self) -> dict:
+        """Jsonable identity for the resume digest (config + engine name)."""
+        return {"engine": self.describe().name, "config": self.config}
+
+
 @dataclass
 class MetricEngineResult:
     """Outcome of a metric-baseline engine run."""
@@ -79,7 +276,7 @@ class MetricEngineResult:
     keep_counts: dict[str, int] = field(default_factory=dict)
 
 
-class MetricEngine:
+class MetricEngine(SteppedEngineBase):
     """One-shot metric baseline (Li'17, APoZ, ...) as a `PruningEngine`.
 
     Parameters
@@ -101,9 +298,12 @@ class MetricEngine:
             else pruner
         self.model = model
         images, labels = as_arrays(data, limit=eval_batch)
+        self.images, self.labels = images, labels
         self.context = PruningContext(images, labels,
                                       np.random.default_rng(seed))
         self.speedup = float(speedup)
+        self.seed = int(seed)
+        self.skip_last = bool(skip_last)
         units = model.prune_units()
         self.units: list[ConvUnit] = \
             units[:-1] if (skip_last and len(units) > 1) else units
@@ -134,6 +334,56 @@ class MetricEngine:
             removed += prune_unit(units[name], mask)
         get_recorder().counter("pruner/maps_removed", removed)
         return removed
+
+    # -- stepped protocol ---------------------------------------------------
+    def _active_units(self) -> list[ConvUnit]:
+        units = self.model.prune_units()
+        return units[:-1] if (self.skip_last and len(units) > 1) else units
+
+    def steps(self) -> list[StepSpec]:
+        return [StepSpec(name=unit.name, index=index, kind="unit",
+                         fallback_targets=(unit.name,))
+                for index, unit in enumerate(self._active_units())]
+
+    def run_step(self, spec: StepSpec, state: StepState) -> StepOutcome:
+        unit = _unit_by_name(self.model, spec.name)
+        keep_count = budget_keep_count(unit.num_maps, self.speedup)
+        context = PruningContext(
+            self.images, self.labels,
+            np.random.default_rng(self.seed + spec.index
+                                  + 1009 * state.attempt))
+        faults.crash_point("metric.select")
+        with get_recorder().span("prune_layer", layer=unit.name,
+                                 maps_before=unit.num_maps):
+            mask = self.pruner.select(self.model, unit, keep_count, context)
+        mask = np.asarray(mask, dtype=bool)
+        return StepOutcome(
+            payload={"mask": mask},
+            log={"name": spec.name, "maps_before": int(unit.num_maps),
+                 "maps_after": int(np.count_nonzero(mask))})
+
+    def apply_step(self, spec: StepSpec, outcome: StepOutcome,
+                   state: StepState) -> None:
+        unit = _unit_by_name(self.model, spec.name)
+        mask = np.asarray(outcome.payload["mask"], dtype=bool)
+        outcome.removed = prune_unit(unit, mask)
+        get_recorder().counter("pruner/layers_pruned")
+        get_recorder().counter("pruner/maps_removed", outcome.removed)
+        if state.need_accuracy:
+            outcome.accuracy = self.current_accuracy()
+
+    def retry_config(self, spec: StepSpec, policy, attempt: int):
+        # Metric selection has no trainable config; retries reseed the
+        # pruning context through ``state.attempt`` in run_step instead.
+        return None
+
+    def fallback_keep_count(self, name: str) -> int:
+        unit = _unit_by_name(self.model, name)
+        return budget_keep_count(unit.num_maps, self.speedup)
+
+    def fingerprint(self) -> dict:
+        return {"engine": self.describe().name, "speedup": self.speedup,
+                "seed": self.seed, "skip_last": self.skip_last}
 
     def describe(self) -> EngineInfo:
         return EngineInfo(

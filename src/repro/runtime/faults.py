@@ -11,16 +11,29 @@ Both are no-ops unless a :class:`FaultPlan` has been installed with
 :func:`inject`, so the hooks cost one global lookup on the happy path.
 A plan triggers by *site name* and *call count*, which makes "kill the
 run right after layer 2 completes" or "poison the loss on the fifth
-REINFORCE iteration" deterministic and repeatable.
+REINFORCE iteration" deterministic and repeatable.  A third action,
+``stall``, advances the :mod:`repro.runtime.watchdog` virtual clock by
+``seconds`` — simulating a hung step without sleeping, so budget
+timeouts are testable offline.
+
+Every hook visit also ticks the armed step watchdog, which is how
+:class:`~repro.runtime.watchdog.StepBudget` deadlines are enforced
+cooperatively at these same sites.
 
 Sites currently wired in:
 
 ==========================  ====================================================
-``runtime.layer_complete``  harness, after journaling layer ``k`` (crash only)
+``runtime.layer_complete``  harness, after journaling step ``k``
 ``reinforce.loss``          REINFORCE loss value, once per iteration
 ``reinforce.reward``        greedy-action reward, once per iteration
 ``training.loss``           fine-tune minibatch loss, once per step
+``amc.reward``              AMC-lite episode reward, once per episode
+``metric.select``           metric engine, before each unit's selection
 ==========================  ====================================================
+
+Any action can be planted at any wired site: ``crash`` and ``stall``
+fire from both hooks, ``nan`` only matters at ``corrupt`` sites (a
+``crash_point`` has no value to poison).
 """
 
 from __future__ import annotations
@@ -29,6 +42,8 @@ import math
 from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from . import watchdog
 
 __all__ = ["SimulatedCrash", "FaultSpec", "FaultPlan", "inject",
            "crash_point", "corrupt", "active_plan"]
@@ -53,16 +68,21 @@ class FaultSpec:
     """One injection rule: at which calls of a site, do what.
 
     ``at`` is the set of 1-based call counts that trigger; an empty set
-    means "every call".  ``action`` is ``"crash"`` or ``"nan"``.
+    means "every call".  ``action`` is ``"crash"``, ``"nan"`` or
+    ``"stall"`` (the latter advances the step watchdog's virtual clock
+    by ``seconds``).
     """
 
     site: str
     action: str = "crash"
     at: frozenset[int] = frozenset()
+    seconds: float = 0.0
 
     def __post_init__(self):
-        if self.action not in ("crash", "nan"):
-            raise ValueError("action must be 'crash' or 'nan'")
+        if self.action not in ("crash", "nan", "stall"):
+            raise ValueError("action must be 'crash', 'nan' or 'stall'")
+        if self.action == "stall" and self.seconds <= 0:
+            raise ValueError("a stall spec needs positive seconds")
 
     def triggers(self, count: int) -> bool:
         return not self.at or count in self.at
@@ -84,25 +104,45 @@ class FaultPlan:
         self.specs.append(FaultSpec(site, "nan", frozenset(counts)))
         return self
 
-    def _visit(self, site: str, kind: str) -> bool:
-        """Advance the site counter; True when a matching spec triggers."""
+    def stall_at(self, site: str, *counts: int,
+                 seconds: float = 3600.0) -> "FaultPlan":
+        """Simulate the site hanging for ``seconds`` at the given calls.
+
+        The stall advances the armed watchdog's virtual clock, so a
+        :class:`~repro.runtime.watchdog.StepBudget` with
+        ``max_seconds < seconds`` raises at this very site — no real
+        time passes.
+        """
+        self.specs.append(FaultSpec(site, "stall", frozenset(counts),
+                                    seconds=seconds))
+        return self
+
+    def _visit(self, site: str, value: float | None = None) -> float | None:
+        """Advance the site counter once and apply every matching spec.
+
+        Stalls are applied before crash/nan so a stalled call registers
+        on the watchdog clock even when it also dies.
+        """
         self._counts[site] += 1
         count = self._counts[site]
-        for spec in self.specs:
-            if spec.site == site and spec.action == kind and \
-                    spec.triggers(count):
-                self.fired.append((site, count, kind))
-                return True
-        return False
+        matched = [spec for spec in self.specs
+                   if spec.site == site and spec.triggers(count)]
+        matched.sort(key=lambda spec: spec.action != "stall")
+        for spec in matched:
+            self.fired.append((site, count, spec.action))
+            if spec.action == "stall":
+                watchdog.advance(spec.seconds)
+            elif spec.action == "crash":
+                raise SimulatedCrash(site, count)
+            elif spec.action == "nan":
+                value = math.nan
+        return value
 
     def visit_crash(self, site: str) -> None:
-        if self._visit(site, "crash"):
-            raise SimulatedCrash(site, self._counts[site])
+        self._visit(site)
 
     def visit_corrupt(self, site: str, value: float) -> float:
-        if self._visit(site, "nan"):
-            return math.nan
-        return value
+        return self._visit(site, value)
 
 
 _ACTIVE: FaultPlan | None = None
@@ -126,13 +166,15 @@ def inject(plan: FaultPlan):
 
 
 def crash_point(site: str) -> None:
-    """Raise :class:`SimulatedCrash` if the active plan says so."""
+    """Fault hook: apply the active plan, then tick the step watchdog."""
     if _ACTIVE is not None:
         _ACTIVE.visit_crash(site)
+    watchdog.tick(site)
 
 
 def corrupt(site: str, value: float) -> float:
-    """Return ``value``, or NaN if the active plan poisons this call."""
+    """Return ``value`` (possibly poisoned), ticking the step watchdog."""
     if _ACTIVE is not None:
-        return _ACTIVE.visit_corrupt(site, value)
+        value = _ACTIVE.visit_corrupt(site, value)
+    watchdog.tick(site)
     return value

@@ -44,11 +44,18 @@ def check_accuracy_collapse(before: float, after: float, ratio: float,
 
     ``ratio`` is the collapse floor: the layer fails when
     ``after < ratio * before``.  A ratio of 0 disables the check; NaN
-    accuracies (e.g. no test set) are treated as "cannot judge" and pass.
+    accuracies (e.g. no test set) are treated as "cannot judge" and
+    pass.  A non-positive ``before`` is likewise "cannot judge": the
+    floor ``ratio * before`` would be vacuous (any accuracy clears a
+    floor of 0, and a negative baseline would flag *every* outcome), so
+    the guard abstains rather than judging against a meaningless
+    baseline.
     """
     if ratio <= 0.0:
         return
     if not (math.isfinite(before) and math.isfinite(after)):
+        return
+    if before <= 0.0:
         return
     if after < ratio * before:
         raise AccuracyCollapseError(before, after, ratio, layer=layer)

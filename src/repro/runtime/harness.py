@@ -1,29 +1,35 @@
-"""Crash-safe, self-healing driver for whole-model HeadStart runs.
+"""Crash-safe, self-healing driver for stepped pruning engines.
 
-:class:`ResumableRunner` wraps :class:`~repro.core.pruner.HeadStartPruner`
-in the fault-tolerant protocol:
+:class:`ResumableRunner` drives any engine implementing the
+:class:`~repro.pruning.engine.SteppedEngine` protocol — layer-wise
+HeadStart, block-level HeadStart, AMC-lite and the metric baselines —
+under the full fault-tolerant protocol:
 
-* every completed layer is journaled (:mod:`repro.runtime.journal`) with
-  its :class:`~repro.core.pruner.LayerLog`, keep mask and an atomic model
-  checkpoint, so a run killed at layer ``k`` resumes from layer ``k``
-  with results bit-for-bit identical to an uninterrupted run;
+* every completed step is journaled (:mod:`repro.runtime.journal`) with
+  its engine payload, log row and an atomic model checkpoint, so a run
+  killed at step ``k`` resumes from step ``k`` with results bit-for-bit
+  identical to an uninterrupted run;
 * divergence (:class:`~repro.runtime.errors.DivergenceError`, non-finite
-  gradients) and post-surgery accuracy collapse trigger rollback to the
-  pre-layer model and a retry with a reseeded, more conservative agent
+  gradients), post-surgery accuracy collapse, structural invariant
+  violations (:mod:`repro.runtime.validate`) and watchdog budget
+  overruns (:mod:`repro.runtime.watchdog`) all trigger rollback to the
+  pre-step model and a retry with a reseeded, more conservative config
   (:class:`~repro.runtime.retry.RetryPolicy`);
-* when retries are exhausted the layer is skipped and journaled as a
-  failure, and the run continues — degraded, not dead.
+* when retries are exhausted, a :class:`~repro.runtime.fallback
+  .FallbackChain` (if configured) re-decides the step with a cheaper
+  metric engine at the same survivor budget and journals a ``degraded``
+  record; only when that too fails (or no chain is given) is the step
+  skipped, and the run continues — degraded, not dead.
 
-Per-layer determinism is what makes resume exact: each layer's agent
-seeds from ``config.seed + layer_offset`` and each fine-tune pass seeds
-its own loader, so a layer's outcome depends only on (model state,
-configs, data) — all of which the journal and checkpoints reconstruct.
+Per-step determinism is what makes resume exact: each step self-seeds
+from its config and step index, so a step's outcome depends only on
+(model state, configs, data) — all of which the journal and checkpoints
+reconstruct.
 """
 
 from __future__ import annotations
 
 import copy
-import dataclasses
 import hashlib
 import math
 from dataclasses import dataclass, field
@@ -31,20 +37,18 @@ from pathlib import Path
 
 import numpy as np
 
-from ..core.config import HeadStartConfig
-from ..core.finetune import FinetuneConfig
-from ..core.pruner import (HeadStartPruner, HeadStartResult, LayerLog,
-                           _DEFAULT_FINETUNE)
 from ..nn.numeric import NonFiniteError
 from ..obs import get_recorder
-from ..pruning.surgery import prune_unit
-from ..training import evaluate, evaluate_dataset
+from ..pruning.engine import StepOutcome, StepSpec, StepState
 from ..utils.serialization import load_checkpoint, save_checkpoint
-from . import faults
+from . import faults, watchdog
 from .errors import DivergenceError, JournalError, ResumeMismatchError
+from .fallback import FallbackChain
 from .guards import check_accuracy_collapse
 from .journal import FORMAT_VERSION, RunJournal, config_digest
 from .retry import RetryPolicy
+from .validate import check_masks, check_model
+from .watchdog import StepBudget
 
 __all__ = ["RunReport", "ResumableRunner", "resume"]
 
@@ -55,11 +59,12 @@ INITIAL_CHECKPOINT = "initial.npz"
 class RunReport:
     """What a fault-tolerant run produced, beyond the core result."""
 
-    result: HeadStartResult
+    result: object
     run_dir: Path
     resumed_layers: int = 0
     skipped_layers: list[str] = field(default_factory=list)
     retried_layers: dict[str, int] = field(default_factory=dict)
+    degraded_steps: dict[str, str] = field(default_factory=dict)
 
     @property
     def journal_path(self) -> Path:
@@ -67,92 +72,174 @@ class RunReport:
 
 
 class ResumableRunner:
-    """Runs :class:`HeadStartPruner` under journal + retry protection.
+    """Runs any stepped pruning engine under journal + retry protection.
 
-    Accepts the pruner's constructor arguments plus the robustness knobs;
-    ``collapse_ratio`` is the accuracy floor after surgery+fine-tune
-    relative to the pre-layer accuracy (0 disables the check), and
-    ``retry_policy`` governs rollback/reseed behaviour.
+    The first positional argument may be a ready-made stepped engine
+    (anything with ``run_step``, e.g. from
+    :func:`repro.pruning.build_engine`) or — the historical calling
+    convention — a model, in which case the remaining HeadStart
+    constructor arguments build a
+    :class:`~repro.core.pruner.HeadStartPruner`.
+
+    Robustness knobs: ``collapse_ratio`` is the accuracy floor after a
+    step relative to the pre-step accuracy (0 disables the check);
+    ``retry_policy`` governs rollback/reseed behaviour; ``budget`` arms a
+    per-step :class:`~repro.runtime.watchdog.StepBudget`; ``fallback``
+    degrades exhausted steps to metric baselines instead of skipping
+    them; ``validate=False`` disables the post-surgery structural
+    invariant checks.  None of these enter the resume digest — they are
+    operational knobs a resume may legitimately tune.
     """
 
-    def __init__(self, model, train_set, test_set=None, *,
-                 config: HeadStartConfig | None = None,
-                 finetune_config: FinetuneConfig | None = _DEFAULT_FINETUNE,
+    def __init__(self, model=None, train_set=None, test_set=None, *,
+                 engine=None, config=None, finetune_config="__default__",
                  calibration=None, input_shape=None,
                  retry_policy: RetryPolicy | None = None,
                  collapse_ratio: float = 0.5,
-                 skip_last: bool = True):
-        self.pruner = HeadStartPruner(
-            model, train_set, test_set, config=config,
-            finetune_config=finetune_config, calibration=calibration,
-            input_shape=input_shape)
+                 skip_last: bool = True,
+                 budget: StepBudget | None = None,
+                 fallback: FallbackChain | None = None,
+                 validate: bool = True):
+        if engine is None and hasattr(model, "run_step"):
+            engine, model = model, None
+        if engine is None:
+            from ..core.pruner import _DEFAULT_FINETUNE, HeadStartPruner
+            if finetune_config == "__default__":
+                finetune_config = _DEFAULT_FINETUNE
+            engine = HeadStartPruner(
+                model, train_set, test_set, config=config,
+                finetune_config=finetune_config, calibration=calibration,
+                input_shape=input_shape, skip_last=skip_last)
+        self.engine = engine
+        self.pruner = engine  # historical alias
         self.retry_policy = retry_policy or RetryPolicy()
         self.collapse_ratio = float(collapse_ratio)
-        self.skip_last = bool(skip_last)
+        self.budget = budget
+        self.fallback = fallback
+        self.validate = bool(validate)
 
     @property
     def model(self):
-        return self.pruner.model
+        return self.engine.model
 
     # -- identity ----------------------------------------------------------
-    def _layer_names(self) -> list[str]:
-        return [unit.name
-                for unit in self.pruner.active_units(self.skip_last)]
-
-    def _unit(self, name: str):
-        for unit in self.pruner.model.prune_units():
-            if unit.name == name:
-                return unit
-        raise ResumeMismatchError(
-            f"model has no prunable unit named {name!r}")
+    def _primary_name(self) -> str:
+        return self.engine.describe().name
 
     def _calibration_digest(self) -> str:
-        images, labels = self.pruner.calibration
+        images, labels = self.engine.calibration_arrays()
         digest = hashlib.sha256()
         digest.update(np.ascontiguousarray(images).tobytes())
         digest.update(np.ascontiguousarray(labels).tobytes())
         return digest.hexdigest()[:16]
 
     def _digest(self, names: list[str]) -> str:
-        return config_digest(self.pruner.config,
-                             self.pruner.finetune_config,
+        # budget / fallback / validate are deliberately excluded: they
+        # shape *how* failures are handled, not what a successful step
+        # computes, so a resume may tighten or relax them.
+        return config_digest(self.engine.fingerprint(),
                              self.retry_policy,
-                             {"skip_last": self.skip_last,
-                              "collapse_ratio": self.collapse_ratio,
+                             {"collapse_ratio": self.collapse_ratio,
                               "units": names,
                               "calibration": self._calibration_digest()})
 
-    # -- accuracy baseline for the collapse guard --------------------------
-    def _current_accuracy(self) -> float:
-        if self.pruner.test_set is not None:
-            return evaluate_dataset(self.pruner.model, self.pruner.test_set)
-        images, labels = self.pruner.calibration
-        batch = min(self.pruner.config.eval_batch, len(images))
-        return evaluate(self.pruner.model, images[:batch], labels[:batch])
-
     # -- rollback ----------------------------------------------------------
     def _restore(self, backup) -> None:
-        """Reinstate the pre-layer model (architecture and weights)."""
-        self.pruner.model = copy.deepcopy(backup)
+        """Reinstate the pre-step model (architecture and weights)."""
+        self.engine.model = copy.deepcopy(backup)
+
+    # -- guards ------------------------------------------------------------
+    def _check(self, spec: StepSpec, outcome: StepOutcome,
+               pre_accuracy: float) -> None:
+        """Post-apply invariants: masks, model wiring, accuracy floor."""
+        if self.validate:
+            payload = outcome.payload or {}
+            masks = {}
+            if "mask" in payload:
+                masks[spec.name] = payload["mask"]
+            masks.update(payload.get("masks") or {})
+            if masks:
+                check_masks(masks, layer=spec.name)
+            check_model(self.engine.model, layer=spec.name)
+        after = outcome.accuracy if outcome.accuracy is not None else math.nan
+        check_accuracy_collapse(pre_accuracy, after, self.collapse_ratio,
+                                layer=spec.name)
+
+    def _journal_failure(self, journal: RunJournal, index: int, name: str,
+                         attempt: int, error: Exception,
+                         engine_name: str | None = None) -> dict:
+        failure = {"attempt": attempt, "kind": type(error).__name__,
+                   "message": str(error)}
+        if isinstance(error, DivergenceError):
+            failure.update(error.as_record())
+        if engine_name is not None:
+            failure["engine"] = engine_name
+        journal.append({"record": "layer_attempt_failed",
+                        "index": index, "name": name, **failure})
+        # Mirror the journal's failure record into the metrics stream so
+        # retries show up in summaries.
+        get_recorder().counter("runtime/layer_retries", 1, layer=name,
+                               kind=failure["kind"])
+        return failure
+
+    # -- graceful degradation ----------------------------------------------
+    def _degrade(self, journal: RunJournal, spec: StepSpec, backup,
+                 pre_accuracy: float, failures: list[dict],
+                 payloads: dict) -> tuple[StepOutcome | None, str | None]:
+        """Finish an exhausted step with the fallback chain's engines."""
+        images, labels = self.engine.calibration_arrays()
+        for engine_name in self.fallback.engines:
+            state = StepState(attempt=len(failures),
+                              need_accuracy=self.collapse_ratio > 0.0,
+                              payloads=payloads)
+            try:
+                keep_counts = {name: self.engine.fallback_keep_count(name)
+                               for name in spec.fallback_targets}
+                with watchdog.watch(self.budget, spec.name):
+                    masks = self.fallback.masks_for(
+                        engine_name, self.engine.model,
+                        spec.fallback_targets, keep_counts, images, labels,
+                        step_index=spec.index)
+                    outcome = self.engine.fallback_outcome(spec, masks,
+                                                           engine_name)
+                    self.engine.apply_step(spec, outcome, state)
+                self._check(spec, outcome, pre_accuracy)
+            except (DivergenceError, NonFiniteError) as error:
+                failures.append(self._journal_failure(
+                    journal, spec.index, spec.name, len(failures), error,
+                    engine_name=engine_name))
+                self._restore(backup)
+                continue
+            journal.append({"record": "degraded", "index": spec.index,
+                            "name": spec.name, "engine": engine_name,
+                            "attempts": len(failures)})
+            rec = get_recorder()
+            rec.counter("runtime/steps_degraded", 1, layer=spec.name,
+                        engine=engine_name)
+            rec.mark("runtime/degraded", step=spec.name, engine=engine_name)
+            return outcome, engine_name
+        return None, None
 
     # -- resume rebuild ----------------------------------------------------
-    def _rebuild(self, journal: RunJournal, names: list[str],
-                 report: RunReport, outcome: HeadStartResult) -> int:
+    def _rebuild(self, journal: RunJournal, specs: list[StepSpec],
+                 names: list[str], report: RunReport, result,
+                 payloads: dict) -> int:
         """Replay the journal's completed prefix; returns the next index."""
         header = journal.header()
         if header.get("units") != names:
             raise ResumeMismatchError(
                 f"journal covers units {header.get('units')!r} but this "
-                f"model/skip_last yields {names!r}")
+                f"engine yields {names!r}")
         if header.get("digest") != self._digest(names):
             raise ResumeMismatchError(
-                "run configuration does not match the journal (config, "
-                "fine-tune schedule, calibration data or collapse ratio "
-                "changed); resume requires identical settings")
+                "run configuration does not match the journal (engine "
+                "config, calibration data or collapse ratio changed); "
+                "resume requires identical settings")
         run_dir = journal.path.parent
         # The initial checkpoint pins the exact starting weights, so a
         # resumed run is a continuation even if the caller re-trained.
-        load_checkpoint(self.pruner.model, run_dir / INITIAL_CHECKPOINT)
+        load_checkpoint(self.engine.model, run_dir / INITIAL_CHECKPOINT)
+        primary = self._primary_name()
         done = journal.completed_layers()
         prefix = journal.contiguous_prefix(done)
         last_checkpoint: str | None = None
@@ -160,35 +247,42 @@ class ResumableRunner:
             record = done[index]
             name = record["name"]
             if record["record"] == "layer_complete":
-                mask = np.asarray(record["mask"], dtype=bool)
-                prune_unit(self._unit(name), mask)
-                outcome.layers.append(LayerLog(**record["layer"]))
-                outcome.masks[name] = mask
-                last_checkpoint = record["checkpoint"]
+                payload = record.get("payload") or {}
+                self.engine.replay_step(specs[index], payload)
+                self.engine.accumulate(
+                    result, specs[index],
+                    StepOutcome(payload=payload, log=record.get("log")))
+                payloads[name] = payload
+                last_checkpoint = record.get("checkpoint")
                 if record.get("attempts", 1) > 1:
                     report.retried_layers[name] = record["attempts"] - 1
+                produced_by = record.get("engine")
+                if produced_by and produced_by != primary:
+                    report.degraded_steps[name] = produced_by
             else:
                 report.skipped_layers.append(name)
         if last_checkpoint is not None:
-            load_checkpoint(self.pruner.model, run_dir / last_checkpoint)
+            load_checkpoint(self.engine.model, run_dir / last_checkpoint)
         report.resumed_layers = prefix
         return prefix
 
     # -- main entry ---------------------------------------------------------
     def run(self, run_dir: str | Path, resume: bool = False) -> RunReport:
-        """Execute (or continue) the whole-model run under ``run_dir``.
+        """Execute (or continue) the whole run under ``run_dir``.
 
         With ``resume=True`` an existing journal is continued from its
-        first incomplete layer; without one, a fresh run starts (so
+        first incomplete step; without one, a fresh run starts (so
         ``resume=True`` is safe to pass unconditionally).  A fresh run
         refuses to write into a directory that already has a journal.
         """
         run_dir = Path(run_dir)
         run_dir.mkdir(parents=True, exist_ok=True)
         journal = RunJournal(run_dir / "journal.jsonl")
-        names = self._layer_names()
-        outcome = HeadStartResult()
-        report = RunReport(result=outcome, run_dir=run_dir)
+        specs = self.engine.steps()
+        names = [spec.name for spec in specs]
+        result = self.engine.new_result()
+        report = RunReport(result=result, run_dir=run_dir)
+        payloads: dict[str, dict] = {}
 
         already_complete = False
         if journal.exists():
@@ -196,60 +290,54 @@ class ResumableRunner:
                 raise JournalError(
                     f"{journal.path} already exists; pass resume=True to "
                     f"continue it or choose a fresh run directory")
-            start = self._rebuild(journal, names, report, outcome)
+            start = self._rebuild(journal, specs, names, report, result,
+                                  payloads)
             already_complete = any(r.get("record") == "run_complete"
                                    for r in journal.read())
         else:
-            save_checkpoint(self.pruner.model, run_dir / INITIAL_CHECKPOINT)
+            save_checkpoint(self.engine.model, run_dir / INITIAL_CHECKPOINT)
             journal.append({"record": "run_start",
                             "version": FORMAT_VERSION,
                             "digest": self._digest(names),
                             "units": names,
-                            "skip_last": self.skip_last,
-                            "config": self.pruner.config,
-                            "finetune_config": self.pruner.finetune_config})
+                            "engine": self._primary_name(),
+                            "fingerprint": self.engine.fingerprint()})
             start = 0
 
-        for index in range(start, len(names)):
-            name = names[index]
+        for index in range(start, len(specs)):
+            spec = specs[index]
+            name = spec.name
             failures: list[dict] = []
             # The baseline accuracy only feeds the collapse guard, so a
-            # disabled guard skips the (full test-set) evaluation; NaN is
-            # "cannot judge" and check_accuracy_collapse passes it.
-            pre_accuracy = (self._current_accuracy()
+            # disabled guard skips the evaluation; NaN is "cannot judge"
+            # and check_accuracy_collapse passes it.
+            pre_accuracy = (self.engine.current_accuracy()
                             if self.collapse_ratio > 0.0 else math.nan)
-            backup = copy.deepcopy(self.pruner.model)
-            layer_outcome = None
+            backup = copy.deepcopy(self.engine.model)
+            outcome: StepOutcome | None = None
+            used_engine: str | None = None
             for attempt in range(self.retry_policy.max_retries + 1):
-                unit = self._unit(name)
-                layer_config = None if attempt == 0 else \
-                    self.retry_policy.layer_config(self.pruner.config,
-                                                   index, attempt)
+                override = None if attempt == 0 else self.engine.retry_config(
+                    spec, self.retry_policy, attempt)
+                state = StepState(attempt=attempt, config_override=override,
+                                  need_accuracy=self.collapse_ratio > 0.0,
+                                  payloads=payloads)
                 try:
-                    log, agent_result = self.pruner.run_layer(
-                        unit, seed_offset=index, config=layer_config)
-                    after = (log.finetuned_accuracy
-                             if log.finetuned_accuracy is not None
-                             else log.inception_accuracy)
-                    check_accuracy_collapse(pre_accuracy, after,
-                                            self.collapse_ratio, layer=name)
-                    layer_outcome = (log, agent_result)
+                    with watchdog.watch(self.budget, name):
+                        out = self.engine.run_step(spec, state)
+                        self.engine.apply_step(spec, out, state)
+                    self._check(spec, out, pre_accuracy)
+                    outcome = out
                     break
                 except (DivergenceError, NonFiniteError) as error:
-                    failure = {"attempt": attempt,
-                               "kind": type(error).__name__,
-                               "message": str(error)}
-                    if isinstance(error, DivergenceError):
-                        failure.update(error.as_record())
-                    failures.append(failure)
-                    journal.append({"record": "layer_attempt_failed",
-                                    "index": index, "name": name, **failure})
-                    # Mirror the journal's failure record into the
-                    # metrics stream so retries show up in summaries.
-                    get_recorder().counter("runtime/layer_retries", 1,
-                                           layer=name, kind=failure["kind"])
+                    failures.append(self._journal_failure(
+                        journal, index, name, attempt, error))
                     self._restore(backup)
-            if layer_outcome is None:
+            if outcome is None and self.fallback is not None \
+                    and spec.fallback_targets:
+                outcome, used_engine = self._degrade(
+                    journal, spec, backup, pre_accuracy, failures, payloads)
+            if outcome is None:
                 journal.append({"record": "layer_skipped", "index": index,
                                 "name": name, "failures": failures})
                 get_recorder().counter("runtime/layers_skipped", 1,
@@ -258,28 +346,28 @@ class ResumableRunner:
                 continue
             if failures:
                 report.retried_layers[name] = len(failures)
-            log, agent_result = layer_outcome
-            checkpoint = save_checkpoint(self.pruner.model,
+            if used_engine is not None:
+                report.degraded_steps[name] = used_engine
+            payloads[name] = outcome.payload
+            checkpoint = save_checkpoint(self.engine.model,
                                          run_dir / f"layer_{index:02d}")
             journal.append({"record": "layer_complete", "index": index,
                             "name": name,
-                            "layer": dataclasses.asdict(log),
-                            "mask": agent_result.keep_mask.astype(int),
+                            "engine": used_engine or self._primary_name(),
+                            "payload": outcome.payload,
+                            "log": outcome.log,
                             "checkpoint": checkpoint.name,
                             "attempts": len(failures) + 1,
                             "failures": failures})
-            outcome.layers.append(log)
-            outcome.masks[name] = agent_result.keep_mask
-            outcome.agent_results[name] = agent_result
+            self.engine.accumulate(result, spec, outcome)
             faults.crash_point("runtime.layer_complete")
 
-        if self.pruner.test_set is not None:
-            outcome.final_accuracy = evaluate_dataset(self.pruner.model,
-                                                      self.pruner.test_set)
+        self.engine.finalize(result)
         if not already_complete:
             journal.append({"record": "run_complete",
-                            "final_accuracy": outcome.final_accuracy,
-                            "skipped": report.skipped_layers})
+                            "final_accuracy": result.final_accuracy,
+                            "skipped": report.skipped_layers,
+                            "degraded": report.degraded_steps})
         return report
 
     def resume(self, run_dir: str | Path) -> RunReport:
@@ -287,15 +375,16 @@ class ResumableRunner:
         return self.run(run_dir, resume=True)
 
 
-def resume(run_dir: str | Path, model, train_set, test_set=None,
+def resume(run_dir: str | Path, model, train_set=None, test_set=None,
            **kwargs) -> RunReport:
     """Rebuild and continue the run journaled under ``run_dir``.
 
-    ``model`` must be the *original* (unpruned) architecture; its weights
-    are replaced by the journal's initial checkpoint, completed layers'
-    masks are re-applied with physical surgery, the last per-layer
-    checkpoint is loaded, and the run continues from the first incomplete
-    layer.  Remaining keyword arguments mirror :class:`ResumableRunner`.
+    ``model`` must be the *original* (unpruned) architecture — or a
+    stepped engine wrapping it; its weights are replaced by the journal's
+    initial checkpoint, completed steps' payloads are re-applied with
+    physical surgery, the last per-step checkpoint is loaded, and the run
+    continues from the first incomplete step.  Remaining keyword
+    arguments mirror :class:`ResumableRunner`.
     """
     runner = ResumableRunner(model, train_set, test_set, **kwargs)
     return runner.run(run_dir, resume=True)

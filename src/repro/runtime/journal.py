@@ -27,7 +27,12 @@ from .errors import JournalError
 
 __all__ = ["FORMAT_VERSION", "RunJournal", "config_digest"]
 
-FORMAT_VERSION = 1
+# Version 2 (engine-generic stepped runs) renamed the per-layer record
+# bodies: the journal stores each step's engine payload/log instead of
+# the HeadStart-specific mask/LayerLog pair, plus the producing engine
+# name and optional ``degraded`` records.  Version-1 journals cannot be
+# replayed through a stepped engine, so resume refuses them.
+FORMAT_VERSION = 2
 
 
 def config_digest(*parts: Any) -> str:

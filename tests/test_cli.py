@@ -89,25 +89,60 @@ class TestCommands:
                      "--epochs", "1"])
         assert code == 2
 
+    BLOCK_ARGS = ["prune", "--model", "resnet20", "--classes", "4",
+                  "--image-size", "12", "--width", "0.25",
+                  "--mode", "block", "--train-per-class", "6",
+                  "--test-per-class", "3", "--epochs", "1",
+                  "--iterations", "6", "--finetune-epochs", "1",
+                  "--eval-batch", "16"]
+
     def test_prune_block_mode_on_resnet(self, tmp_path, capsys):
-        code = main(["prune", "--model", "resnet20", "--classes", "4",
-                     "--image-size", "12", "--width", "0.25",
-                     "--mode", "block", "--train-per-class", "6",
-                     "--test-per-class", "3", "--epochs", "1",
-                     "--iterations", "6", "--finetune-epochs", "1",
-                     "--eval-batch", "16",
-                     "--run-dir", str(tmp_path / "run")])
+        run_dir = tmp_path / "run"
+        code = main(self.BLOCK_ARGS + ["--run-dir", str(run_dir)])
         assert code == 0
         captured = capsys.readouterr()
         assert "learnt block pattern" in captured.out
-        # --run-dir is ignored in block mode, but loudly.
-        assert "not be journaled" in captured.err
-        assert not (tmp_path / "run").exists()
+        assert "not be journaled" not in captured.err
+        # Block mode is journaled like any other engine now.
+        journal = run_dir / "journal.jsonl"
+        assert journal.exists()
+        assert '"run_complete"' in journal.read_text()
+
+    def test_prune_block_mode_resumes_completed_run(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(self.BLOCK_ARGS + ["--run-dir", str(run_dir)]) == 0
+        first = capsys.readouterr().out
+        assert main(self.BLOCK_ARGS + ["--run-dir", str(run_dir),
+                                       "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resumed after 1 journaled step(s)" in second
+        pattern = [line for line in first.splitlines()
+                   if "learnt block pattern" in line]
+        assert pattern[0] in second
+
+    def test_prune_amc_mode(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        code = main(["prune", "--model", "lenet", "--classes", "4",
+                     "--image-size", "12", "--train-per-class", "6",
+                     "--test-per-class", "3", "--epochs", "1",
+                     "--mode", "amc", "--iterations", "8",
+                     "--eval-batch", "16",
+                     "--run-dir", str(run_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "amc best masked accuracy" in out
+        assert "pruned accuracy" in out
+        assert (run_dir / "journal.jsonl").exists()
 
     def test_prune_resume_requires_run_dir(self, capsys):
         code = main(["prune", "--model", "lenet", "--resume"])
         assert code == 2
         assert "--run-dir" in capsys.readouterr().err
+
+    def test_prune_rejects_unknown_fallback_engine(self, capsys):
+        code = main(PRUNE_ARGS + ["--fallback", "magic"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestMetricsCommand:
@@ -164,6 +199,17 @@ class TestMetricsCommand:
     def test_metrics_command_errors_on_missing_dir(self, tmp_path, capsys):
         assert main(["metrics", str(tmp_path / "absent")]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_metrics_check_fails_on_torn_tail(self, tmp_path, capsys):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text('{"event":"counter","name":"c","value":1}\n'
+                        '{"event":"gauge","na')  # crash mid-write
+        # Plain summarise tolerates the torn tail...
+        assert main(["metrics", str(tmp_path)]) == 0
+        capsys.readouterr()
+        # ...but the integrity gate must not bless lost data.
+        assert main(["metrics", str(tmp_path), "--check"]) == 2
+        assert "torn final line" in capsys.readouterr().err
 
 
 class TestReportCommand:
