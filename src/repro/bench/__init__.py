@@ -1,0 +1,16 @@
+"""``repro.bench`` — microbenchmarks for the reward fast path.
+
+``repro bench`` (the CLI subcommand) runs the REINFORCE reward
+benchmark and writes ``BENCH_reinforce.json``; ``python -m repro.bench
+<file>`` re-validates an emitted report against the schema.  See
+``docs/PERFORMANCE.md`` for how to read the numbers.
+"""
+
+from .reinforce import DEFAULT_OUT, run_reinforce_bench, write_report
+from .schema import (BENCH_SCHEMA, REQUIRED_VARIANTS, SCHEMA_VERSION,
+                     validate_bench)
+
+__all__ = [
+    "run_reinforce_bench", "write_report", "DEFAULT_OUT",
+    "BENCH_SCHEMA", "REQUIRED_VARIANTS", "SCHEMA_VERSION", "validate_bench",
+]

@@ -1,0 +1,38 @@
+"""Standalone validator: ``python -m repro.bench BENCH_reinforce.json``.
+
+Exit 0 when the report matches the schema, 1 with one violation per
+line on stderr otherwise (2 on unreadable/unparsable input).  CI's
+bench smoke step uses this to re-check the file ``repro bench`` wrote.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .schema import validate_bench
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="validate a BENCH_*.json report against the schema")
+    parser.add_argument("report", help="path to the bench JSON report")
+    args = parser.parse_args(argv)
+    try:
+        payload = json.loads(open(args.report).read())
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    problems = validate_bench(payload)
+    if problems:
+        for problem in problems:
+            print(f"schema violation: {problem}", file=sys.stderr)
+        return 1
+    print(f"{args.report}: schema ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

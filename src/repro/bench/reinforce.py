@@ -1,0 +1,187 @@
+"""Microbenchmark: reward fast-path on the synthetic CIFAR-100 scenario.
+
+Runs the same HeadStart layer-pruning job twice (three times in full
+mode) — reward memoization off, on, and on with the compressed masked
+forward — and reports, per variant:
+
+* reward evaluations *requested* by the REINFORCE loop vs the
+  *invocations* that actually hit the masked calibration evaluation
+  (the expensive part the fast path exists to avoid);
+* evaluations per REINFORCE iteration and the cache hit rate;
+* end-to-end layer-pruning wall-clock.
+
+The report also carries a ``determinism`` section asserting the cached
+run reproduced the uncached one bit-for-bit (final accuracy and model
+state) — the fast path's core contract, locked down independently by
+``tests/test_evalcache.py``.
+
+Counters come from :mod:`repro.obs`: each variant runs under its own
+in-memory :class:`~repro.obs.recorder.Recorder`, so the benchmark reads
+the same instrumentation users see via ``--metrics-dir``.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..data import make_cifar100_like
+from ..models import build_model
+from ..obs import Recorder, use_recorder
+from ..training import TrainConfig, evaluate_dataset, fit
+from .schema import SCHEMA_VERSION, validate_bench
+
+__all__ = ["DEFAULT_OUT", "run_reinforce_bench", "write_report"]
+
+DEFAULT_OUT = "BENCH_reinforce.json"
+
+
+def _scenario(quick: bool, seed: int) -> dict:
+    """Workload geometry: a miniature in quick mode, a fuller sweep else."""
+    if quick:
+        return {"model": "lenet", "width": 0.25, "num_classes": 4,
+                "image_size": 12, "train_per_class": 6, "test_per_class": 3,
+                "train_epochs": 1, "max_iterations": 8, "mc_samples": 2,
+                "eval_batch": 16, "finetune_epochs": 1, "seed": seed}
+    return {"model": "lenet", "width": 0.5, "num_classes": 8,
+            "image_size": 16, "train_per_class": 12, "test_per_class": 6,
+            "train_epochs": 3, "max_iterations": 20, "mc_samples": 4,
+            "eval_batch": 48, "finetune_epochs": 1, "seed": seed}
+
+
+def _trained_model(scenario: dict, task):
+    rng = np.random.default_rng(scenario["seed"])
+    model = build_model(scenario["model"],
+                        num_classes=scenario["num_classes"],
+                        input_size=scenario["image_size"],
+                        width_multiplier=scenario["width"], rng=rng)
+    fit(model, task.train, None,
+        TrainConfig(epochs=scenario["train_epochs"], batch_size=24, lr=0.05,
+                    seed=scenario["seed"]))
+    return model
+
+
+def _run_variant(scenario: dict, task, original, *, eval_cache: bool,
+                 compressed_eval: bool) -> tuple[dict, dict]:
+    """One pruning run; returns ``(variant_report, final_state_dict)``."""
+    from ..core import FinetuneConfig, HeadStartConfig, HeadStartPruner
+
+    seed = scenario["seed"]
+    config = HeadStartConfig(
+        speedup=2.0, max_iterations=scenario["max_iterations"],
+        min_iterations=max(3, scenario["max_iterations"] // 2),
+        patience=3, eval_batch=scenario["eval_batch"],
+        mc_samples=scenario["mc_samples"], seed=seed,
+        eval_cache=eval_cache, compressed_eval=compressed_eval)
+    model = copy.deepcopy(original)
+    pruner = HeadStartPruner(
+        model, task.train, task.test, config=config,
+        finetune_config=FinetuneConfig(epochs=scenario["finetune_epochs"],
+                                       batch_size=24, lr=0.02, seed=seed),
+        skip_last=False)
+
+    recorder = Recorder()          # in-memory: counters only, no sink
+    start = time.perf_counter()
+    with use_recorder(recorder):
+        pruner.run()
+    wall_seconds = time.perf_counter() - start
+
+    aggregate = recorder.aggregate()
+    counters = aggregate["counters"]
+    requested = int(counters.get("reinforce/reward_evals", 0))
+    unique = int(counters.get("reinforce/unique_evals", 0))
+    exchange = int(counters.get("reinforce/exchange_evals", 0))
+    hits = int(counters.get("evalcache/hits", 0))
+    misses = int(counters.get("evalcache/misses", 0))
+    evictions = int(counters.get("evalcache/evictions", 0))
+    # With the cache on, every driver request (batch dedup and exchange
+    # proposals alike) routes through it, so misses are the underlying
+    # invocations; off, the per-batch dedup still collapses duplicates,
+    # leaving unique + exchange calls.
+    invocations = misses if eval_cache else unique + exchange
+    reward_series = aggregate["series"].get("reinforce/reward", {})
+    iterations = int(reward_series.get("count", 0))
+
+    variant = {
+        "wall_seconds": wall_seconds,
+        "iterations": iterations,
+        "requested_evals": requested,
+        "unique_evals": unique,
+        "reward_invocations": invocations,
+        "evals_per_iteration": requested / iterations if iterations else 0.0,
+        "final_accuracy": float(evaluate_dataset(model, task.test)),
+        "cache": None,
+    }
+    if eval_cache:
+        total = hits + misses
+        variant["cache"] = {"hits": hits, "misses": misses,
+                            "evictions": evictions,
+                            "hit_rate": hits / total if total else 0.0}
+    return variant, model.state_dict()
+
+
+def _states_equal(left: dict, right: dict) -> bool:
+    return set(left) == set(right) and all(
+        np.array_equal(left[key], right[key]) for key in left)
+
+
+def run_reinforce_bench(quick: bool = False, seed: int = 0) -> dict:
+    """Run every variant and assemble the ``BENCH_reinforce`` report."""
+    scenario = _scenario(quick, seed)
+    task = make_cifar100_like(num_classes=scenario["num_classes"],
+                              image_size=scenario["image_size"],
+                              train_per_class=scenario["train_per_class"],
+                              test_per_class=scenario["test_per_class"],
+                              seed=seed)
+    original = _trained_model(scenario, task)
+
+    variants: dict[str, dict] = {}
+    states: dict[str, dict] = {}
+    plans = [("uncached", False, False), ("cached", True, False)]
+    if not quick:
+        plans.append(("cached_compressed", True, True))
+    for name, eval_cache, compressed_eval in plans:
+        variants[name], states[name] = _run_variant(
+            scenario, task, original,
+            eval_cache=eval_cache, compressed_eval=compressed_eval)
+
+    uncached, cached = variants["uncached"], variants["cached"]
+    baseline_inv = uncached["reward_invocations"]
+    reduction_pct = (100.0 * (1 - cached["reward_invocations"] / baseline_inv)
+                     if baseline_inv else 0.0)
+    speedup = (uncached["wall_seconds"] / cached["wall_seconds"]
+               if cached["wall_seconds"] else 0.0)
+    report = {
+        "bench": "reinforce",
+        "schema_version": SCHEMA_VERSION,
+        "quick": quick,
+        "seed": seed,
+        "scenario": scenario,
+        "variants": variants,
+        "reduction": {"reward_invocations_pct": reduction_pct,
+                      "wall_clock_speedup": speedup},
+        "determinism": {
+            "identical_accuracy": uncached["final_accuracy"]
+            == cached["final_accuracy"],
+            "identical_state": _states_equal(states["uncached"],
+                                             states["cached"]),
+        },
+    }
+    problems = validate_bench(report)
+    if problems:       # a bug in the harness itself — never write it out
+        raise RuntimeError("benchmark produced an invalid report: "
+                           + "; ".join(problems))
+    return report
+
+
+def write_report(report: dict, out: str | Path = DEFAULT_OUT) -> Path:
+    """Write the report as pretty JSON; returns the path written."""
+    path = Path(out)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,140 @@
+"""Schema for ``BENCH_reinforce.json`` — the reward fast-path benchmark.
+
+The benchmark report is a plain JSON document; this module is the
+single source of truth for its shape.  :func:`validate_bench` is a
+hand-rolled checker (no external schema dependency) used three times:
+
+* by :func:`repro.bench.reinforce.run_reinforce_bench` before writing,
+  so a malformed report never reaches disk;
+* by the ``repro bench`` subcommand (non-zero exit on violations);
+* by CI's bench smoke step, re-validating the emitted file with
+  ``python -m repro.bench <file>``.
+
+A field that is present but non-finite (NaN/inf) is a violation: a
+benchmark that produced non-finite timings or rates measured nothing.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["SCHEMA_VERSION", "BENCH_SCHEMA", "REQUIRED_VARIANTS",
+           "validate_bench"]
+
+SCHEMA_VERSION = 1
+
+#: Required variants: the reduction claim is uncached vs cached.
+REQUIRED_VARIANTS = ("uncached", "cached")
+
+_INT = "int"
+_NUM = "number"        # finite int or float
+_BOOL = "bool"
+_STR = "str"
+_DICT = "dict"
+
+#: ``field -> type`` for each nesting level of the report.
+BENCH_SCHEMA = {
+    "top": {
+        "bench": _STR,
+        "schema_version": _INT,
+        "quick": _BOOL,
+        "seed": _INT,
+        "scenario": _DICT,
+        "variants": _DICT,
+        "reduction": _DICT,
+        "determinism": _DICT,
+    },
+    "variant": {
+        "wall_seconds": _NUM,
+        "iterations": _INT,
+        "requested_evals": _INT,
+        "unique_evals": _INT,
+        "reward_invocations": _INT,
+        "evals_per_iteration": _NUM,
+        "final_accuracy": _NUM,
+    },
+    "cache": {
+        "hits": _INT,
+        "misses": _INT,
+        "evictions": _INT,
+        "hit_rate": _NUM,
+    },
+    "reduction": {
+        "reward_invocations_pct": _NUM,
+        "wall_clock_speedup": _NUM,
+    },
+    "determinism": {
+        "identical_accuracy": _BOOL,
+        "identical_state": _BOOL,
+    },
+}
+
+
+def _check_field(problems: list[str], owner: dict, field: str, kind: str,
+                 where: str) -> None:
+    if field not in owner:
+        problems.append(f"{where}: missing field {field!r}")
+        return
+    value = owner[field]
+    if kind == _BOOL:
+        if not isinstance(value, bool):
+            problems.append(f"{where}.{field}: expected bool, got "
+                            f"{type(value).__name__}")
+    elif kind == _STR:
+        if not isinstance(value, str) or not value:
+            problems.append(f"{where}.{field}: expected non-empty string")
+    elif kind == _DICT:
+        if not isinstance(value, dict):
+            problems.append(f"{where}.{field}: expected object")
+    elif kind == _INT:
+        if isinstance(value, bool) or not isinstance(value, int):
+            problems.append(f"{where}.{field}: expected integer, got "
+                            f"{value!r}")
+    elif kind == _NUM:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            problems.append(f"{where}.{field}: expected number, got "
+                            f"{value!r}")
+        elif not math.isfinite(value):
+            problems.append(f"{where}.{field}: non-finite value {value!r}")
+
+
+def validate_bench(payload: object) -> list[str]:
+    """All schema violations in a bench report (empty list means valid)."""
+    if not isinstance(payload, dict):
+        return ["report: expected a JSON object at the top level"]
+    problems: list[str] = []
+    for field, kind in BENCH_SCHEMA["top"].items():
+        _check_field(problems, payload, field, kind, "report")
+
+    variants = payload.get("variants")
+    if isinstance(variants, dict):
+        for name in REQUIRED_VARIANTS:
+            if name not in variants:
+                problems.append(f"variants: missing variant {name!r}")
+        for name, variant in variants.items():
+            where = f"variants.{name}"
+            if not isinstance(variant, dict):
+                problems.append(f"{where}: expected object")
+                continue
+            for field, kind in BENCH_SCHEMA["variant"].items():
+                _check_field(problems, variant, field, kind, where)
+            cache = variant.get("cache")
+            if cache is not None:
+                if not isinstance(cache, dict):
+                    problems.append(f"{where}.cache: expected object or null")
+                else:
+                    for field, kind in BENCH_SCHEMA["cache"].items():
+                        _check_field(problems, cache, field, kind,
+                                     f"{where}.cache")
+                    rate = cache.get("hit_rate")
+                    if isinstance(rate, (int, float)) \
+                            and math.isfinite(rate) and not 0 <= rate <= 1:
+                        problems.append(f"{where}.cache.hit_rate: {rate!r} "
+                                        "outside [0, 1]")
+
+    for section in ("reduction", "determinism"):
+        owner = payload.get(section)
+        if isinstance(owner, dict):
+            for field, kind in BENCH_SCHEMA[section].items():
+                _check_field(problems, owner, field, kind, section)
+    return problems

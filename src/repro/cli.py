@@ -12,6 +12,9 @@ Subcommands cover the experiment lifecycle on synthetic tasks:
 * ``profile`` — per-layer parameter/FLOP table of a model;
 * ``fps``     — estimated frames-per-second on the modelled devices;
 * ``metrics`` — summarise (and validate) a ``--metrics-dir`` stream;
+* ``bench``   — time the REINFORCE reward fast path (eval cache on/off)
+  and write a schema-checked ``BENCH_reinforce.json``
+  (see ``docs/PERFORMANCE.md``);
 * ``report``  — regenerate EXPERIMENTS.md from benchmark records.
 
 Every command is deterministic under ``--seed``; ``train``, ``prune``
@@ -198,7 +201,10 @@ def _cmd_prune(args) -> int:
                              max_iterations=args.iterations,
                              min_iterations=max(4, args.iterations // 2),
                              patience=max(4, args.iterations // 4),
-                             eval_batch=args.eval_batch, seed=args.seed)
+                             eval_batch=args.eval_batch, seed=args.seed,
+                             eval_cache=args.eval_cache,
+                             cache_size=args.cache_size,
+                             compressed_eval=args.compressed_eval)
     if args.mode == "block":
         if not isinstance(model, ResNet):
             print("block mode requires a ResNet", file=sys.stderr)
@@ -324,6 +330,39 @@ def _cmd_fps(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .bench import run_reinforce_bench, validate_bench, write_report
+
+    report = run_reinforce_bench(quick=args.quick, seed=args.seed)
+    problems = validate_bench(report)
+    if problems:
+        for problem in problems:
+            print(f"schema violation: {problem}", file=sys.stderr)
+        return 1
+    path = write_report(report, args.out)
+
+    table = Table(["VARIANT", "WALL S", "EVALS REQ", "INVOKED", "HIT RATE"],
+                  title="reward fast path")
+    for name, variant in report["variants"].items():
+        cache = variant["cache"] or {}
+        rate = cache.get("hit_rate")
+        table.add_row([name, round(variant["wall_seconds"], 3),
+                       variant["requested_evals"],
+                       variant["reward_invocations"],
+                       "-" if rate is None else round(rate, 3)])
+    print(table.render())
+    reduction = report["reduction"]
+    print(f"reward invocations cut by "
+          f"{reduction['reward_invocations_pct']:.1f}%  "
+          f"(wall-clock speedup {reduction['wall_clock_speedup']:.2f}x)")
+    determinism = report["determinism"]
+    print(f"cached == uncached: accuracy "
+          f"{determinism['identical_accuracy']}, model state "
+          f"{determinism['identical_state']}")
+    print(f"report written to {path}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     path = write_experiments_markdown(args.results, args.out)
     print(f"wrote {path}")
@@ -427,6 +466,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="wall-clock watchdog budget per pruning step")
     prune.add_argument("--step-evals", type=int, default=None,
                        help="reward/loss evaluation budget per pruning step")
+    prune.add_argument("--eval-cache", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="memoize reward evaluations on the exact action "
+                            "mask (bit-for-bit identical results; "
+                            "--no-eval-cache disables)")
+    prune.add_argument("--cache-size", type=int, default=256,
+                       help="eval-cache capacity in distinct masks per "
+                            "layer (0 = unbounded)")
+    prune.add_argument("--compressed-eval", action="store_true",
+                       help="physically skip masked channels during reward "
+                            "evaluation (faster; equal to dense masking "
+                            "only to ~1e-10, so off by default)")
     prune.add_argument("--out", default=None)
     prune.set_defaults(handler=_cmd_prune)
 
@@ -449,6 +500,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="validate the stream against the event "
                               "schema; non-zero exit on violations")
     metrics.set_defaults(handler=_cmd_metrics)
+
+    bench = commands.add_parser(
+        "bench", help="benchmark the REINFORCE reward fast path")
+    bench.add_argument("--quick", action="store_true",
+                       help="miniature scenario for CI smoke (seconds, "
+                            "not minutes)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--out", default="BENCH_reinforce.json",
+                       help="where to write the JSON report")
+    bench.set_defaults(handler=_cmd_bench)
 
     report = commands.add_parser(
         "report", help="regenerate EXPERIMENTS.md from benchmark records")

@@ -5,6 +5,7 @@ from .amc import AMCConfig, AMCLitePruner, AMCResult
 from .blocks import BlockAgentResult, BlockHeadStart, bypass_blocks
 from .config import HeadStartConfig
 from .distill import DistillConfig, distill_finetune, distillation_loss
+from .evalcache import EvalCache, mask_key
 from .finetune import FinetuneConfig, finetune
 from .policy import (HeadStartNetwork, bernoulli_log_prob, sample_actions,
                      threshold_action)
@@ -15,6 +16,7 @@ from .scratch import resnet_like_pruned, vgg_like_pruned
 
 __all__ = [
     "HeadStartConfig",
+    "EvalCache", "mask_key",
     "HeadStartNetwork", "sample_actions", "threshold_action",
     "bernoulli_log_prob",
     "acc_term", "spd_term", "reward",

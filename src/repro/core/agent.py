@@ -15,10 +15,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..nn.modules import Module
-from ..pruning.surgery import channel_mask
+from ..obs import get_recorder
+from ..pruning.surgery import channel_mask, compressed_mask
 from ..pruning.units import ConvUnit
 from ..training import evaluate
 from .config import HeadStartConfig
+from .evalcache import EvalCache
 from .policy import HeadStartNetwork
 from .reinforce import ReinforceDriver
 from .reward import reward as compute_reward
@@ -31,7 +33,9 @@ class AgentResult:
     """Outcome of training one layer's head-start network.
 
     ``keep_mask`` is the learnt inception; the histories expose the
-    RL dynamics for the ablation benchmarks.
+    RL dynamics for the ablation benchmarks.  ``cache_stats`` is the
+    reward-memoization summary when the eval cache was enabled
+    (``None`` otherwise) — runtime telemetry only, never journaled.
     """
 
     keep_mask: np.ndarray
@@ -40,6 +44,7 @@ class AgentResult:
     reward_history: list[float] = field(default_factory=list)
     loss_history: list[float] = field(default_factory=list)
     inception_accuracy: float = float("nan")
+    cache_stats: dict | None = None
 
     @property
     def kept_maps(self) -> int:
@@ -87,7 +92,9 @@ class LayerAgent:
                          full: bool = False) -> float:
         images = self.full_images if full else self.images
         labels = self.full_labels if full else self.labels
-        with channel_mask(self.unit, action.astype(bool)):
+        masker = compressed_mask if self.config.compressed_eval \
+            else channel_mask
+        with masker(self.unit, action.astype(bool)):
             return evaluate(self.model, images, labels)
 
     def _reward(self, action: np.ndarray, original_accuracy: float,
@@ -98,22 +105,45 @@ class LayerAgent:
                               acc_weight=self.config.acc_weight,
                               spd_weight=self.config.spd_weight)
 
+    def _reward_fns(self, original_accuracy: float):
+        """The (iteration, finalist) reward callables, cache-wrapped.
+
+        Each run gets *fresh* caches scoped to this layer's current
+        model state; the batch and full-set rewards never share entries
+        (same mask, different data — different value).  Returns the
+        pair plus the iteration cache (or ``None``) for stats.
+        """
+        reward_fn = lambda action: self._reward(action, original_accuracy)
+        final_fn = lambda action: self._reward(action, original_accuracy,
+                                               full=True)
+        cache = None
+        if self.config.eval_cache:
+            cache = EvalCache(reward_fn, maxsize=self.config.cache_size,
+                              scope=self.unit.name)
+            reward_fn = cache
+        return reward_fn, final_fn, cache
+
     # -- main loop -----------------------------------------------------------
     def run(self) -> AgentResult:
         """Train the policy until the reward stabilises; return the inception."""
         original_accuracy = evaluate(self.model, self.images, self.labels)
+        reward_fn, final_fn, cache = self._reward_fns(original_accuracy)
         driver = ReinforceDriver(
-            self.policy,
-            reward_fn=lambda action: self._reward(action, original_accuracy),
+            self.policy, reward_fn=reward_fn,
             config=self.config, rng=self.rng,
-            final_reward_fn=lambda action: self._reward(
-                action, original_accuracy, full=True))
+            final_reward_fn=final_fn)
         outcome = driver.run()
         keep_mask = outcome.action.astype(bool)
+        cache_stats = None
+        if cache is not None:
+            cache_stats = cache.stats()
+            get_recorder().gauge("evalcache/hit_rate", cache.hit_rate,
+                                 layer=self.unit.name)
         return AgentResult(
             keep_mask=keep_mask, probabilities=outcome.probabilities,
             iterations=outcome.iterations,
             reward_history=outcome.reward_history,
             loss_history=outcome.loss_history,
             inception_accuracy=self._masked_accuracy(
-                keep_mask.astype(np.float64)))
+                keep_mask.astype(np.float64)),
+            cache_stats=cache_stats)

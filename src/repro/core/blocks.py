@@ -28,6 +28,7 @@ from ..pruning.engine import (EngineInfo, StepOutcome, StepSpec, StepState,
                               SteppedEngineBase)
 from ..training import evaluate
 from .config import HeadStartConfig
+from .evalcache import EvalCache
 from .policy import HeadStartNetwork
 from .reinforce import ReinforceDriver
 from .reward import acc_term
@@ -155,9 +156,15 @@ class BlockHeadStart(SteppedEngineBase):
         without perturbing the instance-level ones.
         """
         original_accuracy = evaluate(self.model, self.images, self.labels)
+        reward_fn = lambda action: self._reward(action, original_accuracy)
+        if config.eval_cache:
+            # Block rewards are pure in the action for a fixed model
+            # (bypass_blocks restores the wiring), so the same exact-mask
+            # memoization the layer agent uses applies verbatim.
+            reward_fn = EvalCache(reward_fn, maxsize=config.cache_size,
+                                  scope="blocks")
         driver = ReinforceDriver(
-            policy,
-            reward_fn=lambda action: self._reward(action, original_accuracy),
+            policy, reward_fn=reward_fn,
             config=config, rng=rng,
             final_reward_fn=lambda action: self._reward(
                 action, original_accuracy, full=True))

@@ -11,9 +11,39 @@ reward") is the paper's.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
-__all__ = ["HeadStartConfig"]
+__all__ = ["HeadStartConfig", "PERF_FIELDS", "resume_relevant"]
+
+#: Config fields that accelerate evaluation without changing what a run
+#: computes.  They are excluded from the resume digest
+#: (:func:`resume_relevant`) so a journaled run may be resumed with
+#: caching toggled or resized — the fast path is bit-for-bit equivalent
+#: by contract (``tests/test_evalcache.py``), except ``compressed_eval``
+#: whose masked forward agrees with the dense one only to ~1e-10; it is
+#: still excluded because both paths round identically often enough for
+#: accuracy-based rewards, and flipping it mid-run is an operator
+#: decision, not a config change.
+PERF_FIELDS = ("eval_cache", "cache_size", "compressed_eval")
+
+
+def resume_relevant(config) -> dict:
+    """A config's fields minus the performance knobs (resume digest view).
+
+    Accepts any dataclass; fields named in :data:`PERF_FIELDS` are
+    dropped so two runs differing only in evaluation acceleration hash
+    equal and may resume each other's journals.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        fields = dataclasses.asdict(config)
+    elif isinstance(config, dict):
+        fields = dict(config)
+    else:
+        return config
+    for name in PERF_FIELDS:
+        fields.pop(name, None)
+    return fields
 
 
 @dataclass(frozen=True)
@@ -78,6 +108,20 @@ class HeadStartConfig:
         to zero gives the ACC-only / SPD-only reward ablations.
     seed:
         Seed for policy initialisation and action sampling.
+    eval_cache:
+        Memoize reward evaluations on the exact binary mask
+        (:class:`~repro.core.evalcache.EvalCache`).  Bit-for-bit neutral:
+        a cached run's outcome, journal and final weights are identical
+        to an uncached run at the same seed.
+    cache_size:
+        LRU bound on distinct masks each per-layer cache retains
+        (0 disables the bound).
+    compressed_eval:
+        Evaluate masked rewards with the compressed forward
+        (:func:`repro.pruning.surgery.compressed_mask`) that physically
+        skips dropped channels instead of multiplying by zeros.  Faster
+        at high sparsity but only ~1e-10-equivalent to the dense masked
+        forward, so it defaults off; see ``docs/PERFORMANCE.md``.
     """
 
     speedup: float = 2.0
@@ -100,6 +144,9 @@ class HeadStartConfig:
     acc_weight: float = 1.0
     spd_weight: float = 1.0
     seed: int = 0
+    eval_cache: bool = True
+    cache_size: int = 256
+    compressed_eval: bool = False
 
     def __post_init__(self):
         if self.speedup < 1.0:
@@ -114,3 +161,5 @@ class HeadStartConfig:
             raise ValueError("optimizer must be 'sgd' or 'rmsprop'")
         if not 0.0 <= self.exploration < 0.5:
             raise ValueError("exploration must lie in [0, 0.5)")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0 (0 means unbounded)")

@@ -1,0 +1,133 @@
+"""Action-mask reward memoization for the REINFORCE hot loop.
+
+Near convergence the head-start policy saturates and the same binary
+actions are sampled over and over; every one of those repeats used to
+pay a full masked forward pass over the calibration batch.  An
+:class:`EvalCache` wraps the reward function with an exact-key LRU
+memo: the key is the binary mask itself (``action > 0.5`` as packed
+bytes), so two actions hit the same entry iff they describe the same
+inception.
+
+Determinism contract — what makes the cache journal-safe:
+
+* the wrapped reward function must be *pure* for the lifetime of the
+  cache (same mask, same reward).  That holds inside one layer's RL
+  loop: the model is restored after every masked evaluation and the
+  calibration batch is fixed.  It does **not** hold across layers
+  (surgery changes the model), which is why callers create one cache
+  per :class:`~repro.core.reinforce.ReinforceDriver` run and never
+  persist or share it;
+* a hit returns the exact float previously computed, so a cached run's
+  rewards — and therefore its policy updates, RNG stream, journal
+  payloads and final state dict — are bit-for-bit identical to an
+  uncached run at the same seed (``tests/test_evalcache.py`` locks
+  this down);
+* cache state never enters the run journal or the resume digest: a
+  resumed run rebuilds its caches empty and still reproduces the
+  uninterrupted run exactly, because misses recompute the same values
+  hits would have returned.
+
+Hit/miss/eviction counts stream to :mod:`repro.obs` under
+``evalcache/*`` (see ``docs/PERFORMANCE.md``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+
+from ..obs import get_recorder
+
+__all__ = ["EvalCache", "mask_key"]
+
+
+def mask_key(action: np.ndarray) -> bytes:
+    """Canonical cache key of a binary action: the packed boolean mask.
+
+    Float and boolean encodings of the same mask (``0.0/1.0`` vs
+    ``False/True``) map to the same key; ``np.packbits`` keeps keys
+    8x smaller than raw boolean bytes for wide layers.
+    """
+    mask = np.asarray(action) > 0.5
+    return np.packbits(mask).tobytes()
+
+
+class EvalCache:
+    """Exact-key LRU memo around a deterministic reward function.
+
+    Instances are callable with the reward function's signature, so a
+    cache can stand in for the raw function anywhere (the
+    :class:`~repro.core.reinforce.ReinforceDriver` neither knows nor
+    cares whether its ``reward_fn`` is cached).
+
+    Parameters
+    ----------
+    reward_fn:
+        The pure function to memoize (mask -> reward).
+    maxsize:
+        LRU bound on distinct masks retained; 0 or negative disables
+        bounding (every distinct mask is kept).
+    scope:
+        Attribute attached to the emitted ``evalcache/*`` counters so
+        per-layer caches are distinguishable in a metrics stream.
+    """
+
+    def __init__(self, reward_fn: Callable[[np.ndarray], float],
+                 maxsize: int = 256, scope: str = ""):
+        self.reward_fn = reward_fn
+        self.maxsize = int(maxsize)
+        self.scope = scope
+        self._store: OrderedDict[bytes, float] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- the memoized call --------------------------------------------------
+    def __call__(self, action: np.ndarray) -> float:
+        key = mask_key(action)
+        rec = get_recorder()
+        if key in self._store:
+            self.hits += 1
+            self._store.move_to_end(key)
+            rec.counter("evalcache/hits", 1, scope=self.scope)
+            return self._store[key]
+        self.misses += 1
+        rec.counter("evalcache/misses", 1, scope=self.scope)
+        value = self.reward_fn(action)
+        self._store[key] = value
+        if self.maxsize > 0 and len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+            self.evictions += 1
+            rec.counter("evalcache/evictions", 1, scope=self.scope)
+        return value
+
+    # -- introspection ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, action) -> bool:
+        """Membership by action array or by a precomputed ``mask_key``."""
+        key = action if isinstance(action, bytes) else mask_key(action)
+        return key in self._store
+
+    @property
+    def requests(self) -> int:
+        """Total lookups served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when unused)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def stats(self) -> dict:
+        """Counters snapshot (jsonable; what the bench harness records)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "size": len(self._store),
+                "maxsize": self.maxsize, "hit_rate": self.hit_rate}
+
+    def clear(self) -> None:
+        """Drop every entry; counters keep accumulating."""
+        self._store.clear()

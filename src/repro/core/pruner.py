@@ -26,7 +26,7 @@ from ..pruning.surgery import prune_unit
 from ..pruning.units import ConvUnit
 from ..training import evaluate_dataset
 from .agent import AgentResult, LayerAgent
-from .config import HeadStartConfig
+from .config import HeadStartConfig, resume_relevant
 from .finetune import FinetuneConfig, finetune
 
 __all__ = ["LayerLog", "HeadStartResult", "HeadStartPruner"]
@@ -297,7 +297,10 @@ class HeadStartPruner(SteppedEngineBase):
         get_recorder().gauge("pruner/final_accuracy", result.final_accuracy)
 
     def fingerprint(self) -> dict:
-        return {"engine": "headstart", "config": self.config,
+        # Performance knobs (eval cache, compressed forward) do not
+        # change what a step computes, so they stay out of the resume
+        # digest — a journaled run may be resumed with caching toggled.
+        return {"engine": "headstart", "config": resume_relevant(self.config),
                 "finetune": self.finetune_config}
 
     def apply(self, result: HeadStartResult) -> int:

@@ -18,6 +18,7 @@ proposals are the miniature-scale stabilisers documented in
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -28,6 +29,7 @@ from ..runtime import faults
 from ..runtime.guards import require_all_finite, require_finite
 from ._optim import _policy_optimizer
 from .config import HeadStartConfig
+from .evalcache import mask_key
 from .policy import (HeadStartNetwork, bernoulli_log_prob, sample_actions,
                      threshold_action)
 
@@ -76,6 +78,34 @@ class ReinforceDriver:
         self.config = config
         self.rng = rng
         self.optimizer = _policy_optimizer(policy, config)
+        # run() restarts from this captured state every time, so calling
+        # it twice on one driver yields identical outcomes (no policy
+        # weights, optimizer momentum or RNG position leaks between
+        # runs — the EnvCache-style shared-mutable-state pitfall).
+        self._initial_policy_state = policy.state_dict()
+        self._initial_rng_state = copy.deepcopy(rng.bit_generator.state)
+
+    # -- candidate scoring ---------------------------------------------------
+    def _score_candidates(self, candidates: list[np.ndarray]) -> np.ndarray:
+        """Rewards for a batch of actions, evaluating each unique mask once.
+
+        Duplicate masks (common once the policy saturates) share a single
+        reward evaluation; with a memoizing ``reward_fn``
+        (:class:`~repro.core.evalcache.EvalCache`) the dedup also spans
+        iterations.  Unique masks are evaluated in first-appearance
+        order, so the underlying call sequence is a subsequence of the
+        naive one-call-per-candidate loop and the returned rewards are
+        identical to it.
+        """
+        unique: dict[bytes, float] = {}
+        for action in candidates:
+            key = mask_key(action)
+            if key not in unique:
+                unique[key] = float(self.reward_fn(action))
+        rec = get_recorder()
+        rec.counter("reinforce/reward_evals", len(candidates))
+        rec.counter("reinforce/unique_evals", len(unique))
+        return np.array([unique[mask_key(action)] for action in candidates])
 
     # -- candidate pool ----------------------------------------------------
     @staticmethod
@@ -111,6 +141,13 @@ class ReinforceDriver:
     def _run(self) -> ReinforceOutcome:
         config = self.config
         rec = get_recorder()
+        # Restart from the construction-time snapshot: policy weights,
+        # RNG position and a fresh optimizer (no stale momentum).  On the
+        # first run this is a no-op value-wise; on repeat runs it makes
+        # the outcome identical instead of continuing a trained policy.
+        self.policy.load_state_dict(self._initial_policy_state)
+        self.rng.bit_generator.state = copy.deepcopy(self._initial_rng_state)
+        self.optimizer = _policy_optimizer(self.policy, config)
         best_reward = -np.inf
         candidates: dict[bytes, tuple[float, np.ndarray]] = {}
         stall = 0
@@ -129,10 +166,11 @@ class ReinforceDriver:
 
             actions = sample_actions(prob_values, config.mc_samples, self.rng,
                                      exploration=config.exploration)
-            rewards = np.array([self.reward_fn(action) for action in actions])
             greedy = threshold_action(prob_values, config.threshold)
+            scored = self._score_candidates([*actions, greedy])
+            rewards = scored[:-1]
             greedy_reward = faults.corrupt("reinforce.reward",
-                                           self.reward_fn(greedy))
+                                           float(scored[-1]))
             require_all_finite(rewards, "reinforce.reward",
                                iteration=iterations)
             require_finite(greedy_reward, "reinforce.reward",
@@ -168,7 +206,6 @@ class ReinforceDriver:
             rec.series("reinforce/action_l0", iterations,
                        int(np.count_nonzero(greedy)))
             rec.series("reinforce/loss", iterations, loss_value)
-            rec.counter("reinforce/reward_evals", config.mc_samples + 1)
 
             if iteration_reward > best_reward + config.tolerance:
                 best_reward = iteration_reward
@@ -186,6 +223,7 @@ class ReinforceDriver:
                     self._remember(candidates, exchange,
                                    self.reward_fn(exchange))
                     rec.counter("reinforce/reward_evals")
+                    rec.counter("reinforce/exchange_evals")
 
             if iterations >= config.min_iterations and stall >= config.patience:
                 break

@@ -14,8 +14,10 @@ from numpy.lib.stride_tricks import sliding_window_view
 from .tensor import Tensor, as_tensor
 
 __all__ = [
-    "im2col", "col2im", "conv2d", "linear", "max_pool2d", "avg_pool2d",
-    "global_avg_pool2d", "upsample_nearest", "batch_norm2d", "dropout",
+    "im2col", "col2im", "conv2d", "conv2d_masked", "linear", "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d", "upsample_nearest", "batch_norm2d",
+    "batch_norm2d_masked", "dropout",
     "log_softmax",
     "softmax", "cross_entropy", "nll_loss", "mse_loss",
 ]
@@ -93,6 +95,61 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
             weight._accumulate((g_mat.T @ cols).reshape(weight.shape))
         if x.requires_grad:
             dcols = g_mat @ w_mat
+            x._accumulate(col2im(dcols, x.shape, (kh, kw), stride, padding))
+
+    return Tensor._make(out, parents, backward)
+
+
+def conv2d_masked(x: Tensor, weight: Tensor, bias: Tensor | None,
+                  keep: np.ndarray, stride: int = 1,
+                  padding: int = 0) -> Tensor:
+    """Convolution computing only the ``keep`` output channels.
+
+    The compressed "masked forward" of the reward fast path: instead of
+    running all filters and multiplying dropped maps by zero, only the
+    kept filter rows enter the GEMM and the dropped channels of the
+    output are exact zeros.  Work in the producing convolution scales
+    with ``len(keep) / out_channels``.
+
+    Each kept channel's reduction runs over the same patch elements in
+    the same order as :func:`conv2d`, so kept outputs agree with the
+    dense result to BLAS rounding (~1e-12); downstream layers see an
+    output identical in shape, with exact zeros where a zeroed-filter
+    dense pass would produce them.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    keep = np.asarray(keep, dtype=np.intp)
+    n, c, h, w = x.shape
+    f, cw, kh, kw = weight.shape
+    if cw != c:
+        raise ValueError(f"conv2d: input has {c} channels, weight expects {cw}")
+    oh = _out_size(h, kh, stride, padding)
+    ow = _out_size(w, kw, stride, padding)
+
+    cols = im2col(x.data, (kh, kw), stride, padding)
+    w_kept = weight.data[keep].reshape(keep.size, -1)
+    out_kept = cols @ w_kept.T
+    if bias is not None:
+        out_kept = out_kept + bias.data[keep]
+    out = np.zeros((cols.shape[0], f), dtype=out_kept.dtype)
+    out[:, keep] = out_kept
+    out = out.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        g_kept = g.transpose(0, 2, 3, 1).reshape(-1, f)[:, keep]
+        if bias is not None and bias.requires_grad:
+            gb = np.zeros_like(bias.data)
+            gb[keep] = g_kept.sum(axis=0)
+            bias._accumulate(gb)
+        if weight.requires_grad:
+            gw = np.zeros_like(weight.data)
+            gw[keep] = (g_kept.T @ cols).reshape(keep.size, cw, kh, kw)
+            weight._accumulate(gw)
+        if x.requires_grad:
+            dcols = g_kept @ w_kept
             x._accumulate(col2im(dcols, x.shape, (kh, kw), stride, padding))
 
     return Tensor._make(out, parents, backward)
@@ -206,6 +263,46 @@ def batch_norm2d(x: Tensor, gamma: Tensor, beta: Tensor,
     inv_std = (var + eps) ** -0.5
     normalised = (x - mean) * inv_std
     return normalised * gamma.reshape(1, -1, 1, 1) + beta.reshape(1, -1, 1, 1)
+
+
+def batch_norm2d_masked(x: Tensor, gamma: Tensor, beta: Tensor,
+                        running_mean: np.ndarray, running_var: np.ndarray,
+                        keep: np.ndarray, eps: float = 1e-5) -> Tensor:
+    """Eval-mode batch norm normalising only the ``keep`` channels.
+
+    Companion of :func:`conv2d_masked`: dropped channels are exact zeros
+    (never touched), kept channels follow the dense eval path's
+    arithmetic operation-for-operation so the results match it to
+    rounding.  Training mode has no masked variant — batch statistics
+    over a masked batch are a different computation, not a fast path.
+    """
+    x = as_tensor(x)
+    keep = np.asarray(keep, dtype=np.intp)
+    column = lambda v: v.reshape(1, -1, 1, 1)
+    # Same ops and dtype promotion as the dense eval path, on the slice.
+    inv_std = ((as_tensor(column(running_var[keep])) + eps) ** -0.5).data
+    normalised = (x.data[:, keep] - column(running_mean[keep])) * inv_std
+    gamma_kept = column(gamma.data[keep])
+    out_kept = normalised * gamma_kept + column(beta.data[keep])
+    out = np.zeros(x.shape, dtype=out_kept.dtype)
+    out[:, keep] = out_kept
+
+    def backward(g: np.ndarray) -> None:
+        g_kept = g[:, keep]
+        if beta.requires_grad:
+            gb = np.zeros_like(beta.data)
+            gb[keep] = g_kept.sum(axis=(0, 2, 3))
+            beta._accumulate(gb)
+        if gamma.requires_grad:
+            gg = np.zeros_like(gamma.data)
+            gg[keep] = (g_kept * normalised).sum(axis=(0, 2, 3))
+            gamma._accumulate(gg)
+        if x.requires_grad:
+            dx = np.zeros_like(x.data)
+            dx[:, keep] = g_kept * (gamma_kept * inv_std)
+            x._accumulate(dx)
+
+    return Tensor._make(out, (x, gamma, beta), backward)
 
 
 def dropout(x: Tensor, p: float, training: bool,

@@ -12,7 +12,8 @@ from .quantization import (QuantizationReport, quantize_weights,
                            quantized_storage_bytes)
 from .schedule import GradualSchedule, iterative_prune
 from .stats import LayerStats, ModelStats, compression_ratio, profile_model
-from .surgery import channel_mask, keep_indices, prune_model, prune_unit
+from .surgery import (channel_mask, compressed_mask, keep_indices,
+                      prune_model, prune_unit)
 from .unstructured import (UnstructuredMasks, magnitude_prune,
                            sparse_execution_time_factor, sparsity_of)
 from .units import Consumer, ConvUnit
@@ -24,7 +25,8 @@ __all__ = [
     "SteppedEngine", "SteppedEngineBase", "SteppedResult",
     "StepSpec", "StepOutcome", "StepState",
     "Consumer", "ConvUnit",
-    "channel_mask", "prune_unit", "prune_model", "keep_indices",
+    "channel_mask", "compressed_mask", "prune_unit", "prune_model",
+    "keep_indices",
     "LayerStats", "ModelStats", "profile_model", "compression_ratio",
     "LayerPruneRecord", "WholeModelResult", "budget_keep_count",
     "prune_whole_model",

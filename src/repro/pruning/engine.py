@@ -264,8 +264,16 @@ class SteppedEngineBase:
 
     # -- identity -----------------------------------------------------------
     def fingerprint(self) -> dict:
-        """Jsonable identity for the resume digest (config + engine name)."""
-        return {"engine": self.describe().name, "config": self.config}
+        """Jsonable identity for the resume digest (config + engine name).
+
+        Performance knobs (``eval_cache``/``cache_size``/``compressed_eval``)
+        are stripped so a journaled run can resume with caching toggled —
+        they change how fast a step computes, never what it computes.
+        """
+        from ..core.config import resume_relevant
+
+        return {"engine": self.describe().name,
+                "config": resume_relevant(self.config)}
 
 
 @dataclass

@@ -35,8 +35,11 @@ from .journal import RunJournal
 
 __all__ = ["ENGINE_KINDS", "run_chaos", "main"]
 
-#: Engine kinds the matrix covers: one per stepped-engine implementation.
-ENGINE_KINDS = ("headstart", "block", "amc", "li17")
+#: Engine kinds the matrix covers: one per stepped-engine implementation,
+#: plus a fast-path column (``headstart-cached``) that reruns the HeadStart
+#: scenario with the reward eval-cache and compressed masked forward on —
+#: the kill/resume contract must hold identically on the fast path.
+ENGINE_KINDS = ("headstart", "headstart-cached", "block", "amc", "li17")
 
 
 def _make_task(seed: int):
@@ -59,10 +62,14 @@ def _make_runner(kind: str, task, seed: int) -> ResumableRunner:
     model = build_model(model_name, num_classes=4, input_size=12,
                         width_multiplier=0.25,
                         rng=np.random.default_rng(seed))
+    # The plain column pins the slow path (no memoization) so the matrix
+    # keeps covering it; the -cached column turns on the whole fast path.
+    cached = kind == "headstart-cached"
     config = HeadStartConfig(speedup=2.0, max_iterations=6, min_iterations=3,
                              patience=3, eval_batch=16, seed=seed,
-                             mc_samples=2)
-    if kind == "headstart":
+                             mc_samples=2, eval_cache=cached,
+                             compressed_eval=cached)
+    if kind in ("headstart", "headstart-cached"):
         engine = HeadStartPruner(
             model, task.train, task.test, config=config,
             finetune_config=FinetuneConfig(epochs=1, batch_size=24, lr=0.02,
