@@ -11,14 +11,20 @@ Subcommands cover the experiment lifecycle on synthetic tasks:
   watchdog budgets (see ``docs/ROBUSTNESS.md``);
 * ``profile`` — per-layer parameter/FLOP table of a model;
 * ``fps``     — estimated frames-per-second on the modelled devices;
-* ``metrics`` — summarise (and validate) a ``--metrics-dir`` stream;
+* ``metrics`` — summarise (and validate) a ``--metrics-dir`` stream,
+  export it as a Chrome trace (``--trace``), or regression-diff two
+  runs (``metrics diff <a> <b>``);
 * ``bench``   — time the REINFORCE reward fast path (eval cache on/off)
   and write a schema-checked ``BENCH_reinforce.json``
   (see ``docs/PERFORMANCE.md``);
-* ``report``  — regenerate EXPERIMENTS.md from benchmark records.
+* ``report``  — with a run directory, write a self-contained HTML/
+  Markdown run report joining the metrics stream with the runtime
+  journal; without one, regenerate EXPERIMENTS.md from benchmark
+  records (the legacy mode).
 
 Every command is deterministic under ``--seed``; ``train``, ``prune``
 and ``fps`` accept ``--metrics-dir`` to stream observability events
+and ``--profile-ops`` to add op-level forward/backward profiling
 (see ``docs/OBSERVABILITY.md``).
 
 Shared argument groups (the synthetic-task block, the model block, the
@@ -88,24 +94,39 @@ def _model_parent(classes: int | None = None,
 
 
 def _metrics_parent() -> argparse.ArgumentParser:
-    """The ``--metrics-dir`` flag shared by train/prune/fps."""
+    """The ``--metrics-dir``/``--profile-ops`` flags of train/prune/fps."""
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument("--metrics-dir", default=None,
                         help="stream observability events (spans, series, "
                              "counters) to <dir>/metrics.jsonl; summarise "
                              "with 'repro metrics <dir>'")
+    parent.add_argument("--profile-ops", action="store_true",
+                        help="time every Conv2d/Linear/BatchNorm2d forward "
+                             "and backward as 'op' events with FLOP/byte "
+                             "accounting (needs --metrics-dir; adds "
+                             "per-call timing overhead)")
     return parent
 
 
 @contextlib.contextmanager
 def _metrics_recorder(args):
-    """Install a recorder for the command when ``--metrics-dir`` is set."""
+    """Install a recorder for the command when ``--metrics-dir`` is set.
+
+    ``--profile-ops`` additionally installs the op-level profiler for
+    the duration of the command; without a metrics dir there is nowhere
+    for its events to go, so the flag is ignored with a warning.
+    """
     metrics_dir = getattr(args, "metrics_dir", None)
+    profile_ops = getattr(args, "profile_ops", False)
     if not metrics_dir:
+        if profile_ops:
+            print("warning: --profile-ops needs --metrics-dir; ignoring",
+                  file=sys.stderr)
         yield None
         return
     recorder = obs.Recorder(metrics_dir)
-    with recorder, obs.use_recorder(recorder):
+    profiler = obs.ModuleProfiler() if profile_ops else contextlib.nullcontext()
+    with recorder, obs.use_recorder(recorder), profiler:
         yield recorder
     print(f"metrics written to {recorder.sink.path}")
 
@@ -127,6 +148,7 @@ def _make_model(args):
 def _cmd_train(args) -> int:
     task = _make_task(args)
     model = _make_model(args)
+    obs.label_modules(model)  # no-op unless --profile-ops installed hooks
     history = fit(model, task.train, task.test,
                   TrainConfig(epochs=args.epochs, batch_size=args.batch_size,
                               lr=args.lr, seed=args.seed))
@@ -189,6 +211,7 @@ def _cmd_prune(args) -> int:
         return 2
     task = _make_task(args)
     model = _make_model(args)
+    obs.label_modules(model)  # no-op unless --profile-ops installed hooks
     if args.checkpoint:
         load_checkpoint(model, args.checkpoint)
     else:
@@ -364,13 +387,30 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    path = write_experiments_markdown(args.results, args.out)
+    if args.run_dir:
+        try:
+            path = obs.write_run_report(args.run_dir, out_path=args.out,
+                                        metrics_dir=args.metrics,
+                                        fmt=args.format, top=args.top)
+        except (FileNotFoundError, JournalError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {path}")
+        return 0
+    path = write_experiments_markdown(args.results,
+                                      args.out or "EXPERIMENTS.md")
     print(f"wrote {path}")
     return 0
 
 
-def _render_metrics_summary(summary: dict) -> str:
-    """Human-readable tables for a metrics-dir aggregate."""
+def _render_metrics_summary(summary: dict, events: list | None = None,
+                            top: int = 5) -> str:
+    """Human-readable tables for a metrics-dir aggregate.
+
+    With the raw ``events`` also given, appends the top-``top`` slowest
+    individual span instances (not per-name aggregates — the question
+    "where did the seconds go" is about specific calls).
+    """
     parts = []
     if summary["spans"]:
         table = Table(["SPAN", "COUNT", "TOTAL S", "MEAN S", "MAX S"],
@@ -379,6 +419,29 @@ def _render_metrics_summary(summary: dict) -> str:
             s = summary["spans"][name]
             table.add_row([name, s["count"], s["total_s"], s["mean_s"],
                            s["max_s"]])
+        parts.append(table.render())
+    if events:
+        slowest = obs.slowest_spans(events, top)
+        if slowest:
+            table = Table(["RANK", "SPAN", "DUR S", "START S", "ATTRS"],
+                          title=f"top {len(slowest)} slowest spans")
+            for rank, span in enumerate(slowest, start=1):
+                attrs = ", ".join(f"{k}={v}"
+                                  for k, v in (span["attrs"] or {}).items())
+                table.add_row([rank, span["name"], span["dur"],
+                               span["start"], attrs])
+            parts.append(table.render())
+    if summary.get("ops"):
+        table = Table(["OP", "KIND", "PHASE", "CALLS", "TOTAL S", "FLOPS",
+                       "BYTES"], title="profiled ops")
+        for name in sorted(summary["ops"]):
+            for phase in ("forward", "backward"):
+                stats = summary["ops"][name].get(phase)
+                if stats:
+                    table.add_row([name, stats.get("kind", ""), phase,
+                                   stats["count"], stats["total_s"],
+                                   stats.get("flops", 0),
+                                   stats.get("bytes", 0)])
         parts.append(table.render())
     if summary["counters"]:
         table = Table(["COUNTER", "TOTAL"])
@@ -397,14 +460,51 @@ def _render_metrics_summary(summary: dict) -> str:
             table.add_row([name, s["count"], s["first"], s["last"],
                            s["min"], s["max"]])
         parts.append(table.render())
+    if summary.get("marks"):
+        table = Table(["MARK", "COUNT"], title="annotations")
+        for name in sorted(summary["marks"]):
+            table.add_row([name, summary["marks"][name]])
+        parts.append(table.render())
     return "\n\n".join(parts) if parts else "no events recorded"
 
 
+def _cmd_metrics_diff(args) -> int:
+    if len(args.rest) != 2:
+        print("usage: repro metrics diff <a> <b>", file=sys.stderr)
+        return 2
+    a, b = args.rest
+    try:
+        result = obs.diff_sources(
+            a, b, wall_tolerance=args.wall_tolerance,
+            min_seconds=args.min_seconds,
+            counter_tolerance=args.counter_tolerance,
+            check_wall=not args.no_wall)
+    except (OSError, ValueError, obs.MetricsError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.render())
+    return result.exit_code
+
+
 def _cmd_metrics(args) -> int:
+    if args.dir == "diff":
+        return _cmd_metrics_diff(args)
+    if args.rest:
+        print(f"error: unexpected arguments {' '.join(args.rest)!r} "
+              "(did you mean 'repro metrics diff <a> <b>'?)",
+              file=sys.stderr)
+        return 2
     try:
         # --check is an integrity gate: a torn final line (lost data)
         # must fail it, so the strict reader is used there.
-        events = obs.load_metrics(args.dir, strict=args.check)
+        if args.check:
+            events = obs.load_metrics(args.dir, strict=True)
+        else:
+            events, torn = obs.load_metrics_report(args.dir)
+            if torn:
+                print(f"note: torn final line in {args.dir} repaired "
+                      "(dropped the partial record — expected after a "
+                      "crash)", file=sys.stderr)
     except obs.MetricsError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -415,7 +515,17 @@ def _cmd_metrics(args) -> int:
                 print(f"schema violation: {problem}", file=sys.stderr)
             return 1
         print(f"{len(events)} events, schema ok")
-    print(_render_metrics_summary(obs.summarize(events)))
+    if args.trace:
+        trace = obs.write_chrome_trace(events, args.trace)
+        problems = obs.validate_chrome_trace(trace)
+        if problems:
+            for problem in problems:
+                print(f"trace violation: {problem}", file=sys.stderr)
+            return 1
+        print(f"chrome trace written to {args.trace} "
+              f"({len(trace['traceEvents'])} trace events)")
+    print(_render_metrics_summary(obs.summarize(events), events=events,
+                                  top=args.top))
     return 0
 
 
@@ -494,11 +604,35 @@ def build_parser() -> argparse.ArgumentParser:
     fps.set_defaults(handler=_cmd_fps)
 
     metrics = commands.add_parser(
-        "metrics", help="summarise a --metrics-dir event stream")
-    metrics.add_argument("dir", help="metrics directory (or .jsonl file)")
+        "metrics", help="summarise a --metrics-dir event stream, export "
+                        "a Chrome trace, or diff two runs")
+    metrics.add_argument("dir", help="metrics directory (or .jsonl file); "
+                                     "the literal 'diff' compares two runs: "
+                                     "repro metrics diff <a> <b>")
+    metrics.add_argument("rest", nargs="*",
+                         help="for diff: the two metrics dirs or bench "
+                              ".json files to compare")
     metrics.add_argument("--check", action="store_true",
                          help="validate the stream against the event "
-                              "schema; non-zero exit on violations")
+                              "schema; non-zero exit on violations "
+                              "(exit 2 on unreadable/torn streams)")
+    metrics.add_argument("--trace", default=None, metavar="OUT",
+                         help="also export the stream as Chrome trace-event "
+                              "JSON (open in chrome://tracing or Perfetto)")
+    metrics.add_argument("--top", type=int, default=5,
+                         help="slowest individual spans to list (default 5)")
+    metrics.add_argument("--wall-tolerance", type=float, default=50.0,
+                         help="diff: flag a span/op/bench wall time more "
+                              "than this percent slower (default 50)")
+    metrics.add_argument("--min-seconds", type=float, default=0.05,
+                         help="diff: ignore wall regressions smaller than "
+                              "this absolute slowdown (default 0.05s)")
+    metrics.add_argument("--counter-tolerance", type=float, default=0.0,
+                         help="diff: allowed percent drift in counters/"
+                              "rates (default 0 = exact)")
+    metrics.add_argument("--no-wall", action="store_true",
+                         help="diff: skip wall-time checks entirely "
+                              "(cross-machine comparisons)")
     metrics.set_defaults(handler=_cmd_metrics)
 
     bench = commands.add_parser(
@@ -512,9 +646,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench.set_defaults(handler=_cmd_bench)
 
     report = commands.add_parser(
-        "report", help="regenerate EXPERIMENTS.md from benchmark records")
-    report.add_argument("--results", default="benchmarks/results")
-    report.add_argument("--out", default="EXPERIMENTS.md")
+        "report", help="run report from a journaled run dir; without one, "
+                       "regenerate EXPERIMENTS.md from benchmark records")
+    report.add_argument("run_dir", nargs="?", default=None,
+                        help="a --run-dir (and/or --metrics-dir) to report "
+                             "on; omit for the legacy EXPERIMENTS.md mode")
+    report.add_argument("--format", choices=("html", "md"), default="html",
+                        help="run-report format (default html)")
+    report.add_argument("--metrics", default=None, metavar="DIR",
+                        help="metrics dir when it differs from the run dir")
+    report.add_argument("--top", type=int, default=5,
+                        help="slowest spans to list in the run report")
+    report.add_argument("--results", default="benchmarks/results",
+                        help="legacy mode: benchmark records directory")
+    report.add_argument("--out", default=None,
+                        help="output file (default <run-dir>/report.<fmt>, "
+                             "or EXPERIMENTS.md in legacy mode)")
     report.set_defaults(handler=_cmd_report)
     return parser
 

@@ -25,10 +25,23 @@ from ..obs import get_recorder
 from ..pruning.stats import LayerStats, ModelStats, profile_model
 from .device import DeviceSpec
 
-__all__ = ["LayerLatency", "LatencyReport", "layer_latency", "estimate_latency",
-           "estimate_fps", "speedup_over"]
+__all__ = ["LayerLatency", "LatencyReport", "layer_bytes", "layer_latency",
+           "estimate_latency", "estimate_fps", "speedup_over"]
 
 _BYTES_PER_VALUE = 4  # FP32 inference
+
+
+def layer_bytes(input_shape: tuple[int, ...], output_shape: tuple[int, ...],
+                params: int, batch_size: int = 1) -> int:
+    """Bytes a layer moves per call: activations in + out, plus weights.
+
+    The roofline memory-side accounting (FP32), shared by
+    :func:`layer_latency` and the op-level profiler
+    (:mod:`repro.obs.profile`).  Shapes may include or omit the batch
+    axis — only the trailing ``shape[1:]`` dims count per image.
+    """
+    activations = int(np.prod(input_shape[1:])) + int(np.prod(output_shape[1:]))
+    return (activations * batch_size + params) * _BYTES_PER_VALUE
 
 
 @dataclass(frozen=True)
@@ -77,8 +90,8 @@ def layer_latency(stats: LayerStats, device: DeviceSpec,
     channels = stats.output_shape[1] if len(stats.output_shape) > 1 else 0
     utilisation = device.utilisation(macs, channels)
     compute_s = macs / (device.peak_macs * max(utilisation, 1e-9)) if macs else 0.0
-    activations = int(np.prod(stats.input_shape[1:])) + int(np.prod(stats.output_shape[1:]))
-    bytes_moved = (activations * batch_size + stats.params) * _BYTES_PER_VALUE
+    bytes_moved = layer_bytes(stats.input_shape, stats.output_shape,
+                              stats.params, batch_size)
     memory_s = bytes_moved / device.bandwidth
     return LayerLatency(name=stats.name, kind=stats.kind,
                         compute_s=compute_s, memory_s=memory_s,

@@ -21,7 +21,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor",
+           "creator_closures"]
 
 _GRAD_ENABLED = True
 
@@ -461,3 +462,31 @@ def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
                 tensor._accumulate(g[tuple(index)])
 
     return Tensor._make(data, tuple(tensors), backward)
+
+
+def creator_closures(root: Tensor,
+                     boundary: Iterable[Tensor] = ()) -> list[Tensor]:
+    """Tensors with a recorded backward rule created under ``root``.
+
+    Walks the autograd graph from ``root`` towards the leaves without
+    crossing any tensor in ``boundary`` (compared by identity), and
+    returns every reached tensor whose ``_backward`` closure is set.
+    With ``boundary`` holding a module's *input*, the result is exactly
+    the closures that module's forward created — the hook points
+    :class:`repro.obs.profile.ModuleProfiler` wraps to attribute
+    backward wall time to the module.  The engine reads ``_backward``
+    at execution time, so rebinding it after the forward is safe.
+    """
+    stop = {id(t) for t in boundary}
+    found: list[Tensor] = []
+    seen: set[int] = set()
+    stack: list[Tensor] = [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen or id(node) in stop:
+            continue
+        seen.add(id(node))
+        if node._backward is not None:
+            found.append(node)
+        stack.extend(node._parents)
+    return found

@@ -13,23 +13,49 @@ Enable for a run::
         HeadStartPruner(model, train, test).run()
     summary = obs.summarize_dir("runs/exp1")
 
+Deeper tooling layered on the same event stream:
+
+* :class:`~repro.obs.profile.ModuleProfiler` — op-level forward/backward
+  wall time with FLOP/byte accounting (``op`` events);
+* :mod:`repro.obs.trace` — Chrome trace-event export for
+  ``chrome://tracing`` / Perfetto;
+* :mod:`repro.obs.report` — self-contained HTML/Markdown run reports
+  joining metrics with the runtime journal;
+* :mod:`repro.obs.diff` — regression-gating diffs of two runs.
+
 See ``docs/OBSERVABILITY.md`` for the event schema.
 """
 
 from .recorder import (NULL_RECORDER, NullRecorder, Recorder, SpanStats,
                        get_recorder, set_recorder, use_recorder)
-from .schema import (EVENT_TYPES, deterministic_view, validate_event,
-                     validate_events)
+from .schema import (EVENT_TYPES, OP_PHASES, deterministic_view,
+                     validate_event, validate_events)
 from .sink import (METRICS_FILENAME, MetricsError, MetricsSink, jsonable,
-                   read_events, repair_torn_tail)
-from .summary import load_metrics, summarize, summarize_dir
+                   read_events, read_events_report, repair_torn_tail)
+from .summary import (load_metrics, load_metrics_report, slowest_spans,
+                      summarize, summarize_dir)
+from .trace import (to_chrome_trace, validate_chrome_trace,
+                    write_chrome_trace)
+from .report import (collect_report_data, render_html, render_markdown,
+                     write_run_report)
+from .diff import (DiffResult, diff_bench_reports, diff_metrics_dirs,
+                   diff_sources)
+# Imported last: profile depends on .recorder being fully initialised.
+from .profile import (ModuleProfiler, label_modules, module_name,
+                      profiler_active)
 
 __all__ = [
     "Recorder", "NullRecorder", "NULL_RECORDER", "SpanStats",
     "get_recorder", "set_recorder", "use_recorder",
     "MetricsSink", "MetricsError", "METRICS_FILENAME",
-    "jsonable", "read_events", "repair_torn_tail",
-    "EVENT_TYPES", "validate_event", "validate_events",
+    "jsonable", "read_events", "read_events_report", "repair_torn_tail",
+    "EVENT_TYPES", "OP_PHASES", "validate_event", "validate_events",
     "deterministic_view",
-    "load_metrics", "summarize", "summarize_dir",
+    "load_metrics", "load_metrics_report", "slowest_spans",
+    "summarize", "summarize_dir",
+    "to_chrome_trace", "write_chrome_trace", "validate_chrome_trace",
+    "collect_report_data", "render_markdown", "render_html",
+    "write_run_report",
+    "DiffResult", "diff_metrics_dirs", "diff_bench_reports", "diff_sources",
+    "ModuleProfiler", "label_modules", "module_name", "profiler_active",
 ]

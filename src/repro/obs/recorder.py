@@ -71,6 +71,11 @@ class NullRecorder:
     def mark(self, name: str, **attrs) -> None:
         pass
 
+    def op(self, name: str, kind: str, phase: str, dur: float,
+           flops: int | None = None, bytes: int | None = None,
+           **attrs) -> None:
+        pass
+
     def flush(self) -> None:
         pass
 
@@ -149,6 +154,7 @@ class Recorder:
         self.series_data: dict[str, list[tuple[int, float]]] = {}
         self.marks: dict[str, int] = {}
         self.span_stats: dict[str, SpanStats] = {}
+        self.op_stats: dict[str, dict[str, dict]] = {}
         self._stack: list[int] = []
         self._next_span_id = 1
 
@@ -233,6 +239,35 @@ class Recorder:
             record["attrs"] = attrs
         self._emit(record)
 
+    def op(self, name: str, kind: str, phase: str, dur: float,
+           flops: int | None = None, bytes: int | None = None,
+           **attrs) -> None:
+        """Record one profiled module-level operation.
+
+        Emitted by :class:`repro.obs.profile.ModuleProfiler` for every
+        forward/backward of a hooked layer; ``flops``/``bytes`` carry
+        the deterministic work accounting (forward only), ``dur`` the
+        wall time of this call.
+        """
+        stats = self.op_stats.setdefault(name, {}).setdefault(
+            phase, {"count": 0, "total_s": 0.0, "flops": 0, "bytes": 0,
+                    "kind": kind})
+        stats["count"] += 1
+        stats["total_s"] += dur
+        if flops:
+            stats["flops"] += flops
+        if bytes:
+            stats["bytes"] += bytes
+        record = {"event": "op", "name": name, "kind": kind,
+                  "phase": phase, "dur": dur, "t": time.time()}
+        if flops is not None:
+            record["flops"] = int(flops)
+        if bytes is not None:
+            record["bytes"] = int(bytes)
+        if attrs:
+            record["attrs"] = attrs
+        self._emit(record)
+
     # -- aggregate view ----------------------------------------------------
     def aggregate(self) -> dict:
         """In-memory summary: counters, gauges, series and span timings.
@@ -255,11 +290,14 @@ class Recorder:
                         "mean_s": s.mean_s, "min_s": s.min_s,
                         "max_s": s.max_s}
                  for name, s in self.span_stats.items()}
+        ops = {name: {phase: dict(stats) for phase, stats in phases.items()}
+               for name, phases in self.op_stats.items()}
         return {"counters": dict(self.counters),
                 "gauges": dict(self.gauges),
                 "series": series,
                 "marks": dict(self.marks),
-                "spans": spans}
+                "spans": spans,
+                "ops": ops}
 
     # -- lifecycle ---------------------------------------------------------
     def flush(self) -> None:

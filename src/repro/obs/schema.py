@@ -17,22 +17,32 @@ event                   required fields
 ``mark``                ``name`` (str), ``t`` (number); optional ``attrs`` —
                         a point-in-time annotation (e.g. a runtime
                         degradation), no value attached
+``op``                  ``name`` (str), ``kind`` (str), ``phase``
+                        (``"forward"`` or ``"backward"``), ``dur`` (number),
+                        ``t`` (number); optional ``flops``/``bytes`` (int),
+                        ``attrs`` — one profiled module-level operation
+                        (see :mod:`repro.obs.profile`)
 ======================  =====================================================
 
 Wall-clock data lives only in ``t``/``dur`` and in events flagged
 ``timing: true``; :func:`deterministic_view` strips exactly those, so
-two identically-seeded runs compare equal on the stripped stream.
+two identically-seeded runs compare equal on the stripped stream (an
+``op`` event keeps its deterministic ``flops``/``bytes`` accounting but
+loses its timings).
 """
 
 from __future__ import annotations
 
 from numbers import Number
 
-__all__ = ["EVENT_TYPES", "validate_event", "validate_events",
+__all__ = ["EVENT_TYPES", "OP_PHASES", "validate_event", "validate_events",
            "deterministic_view"]
 
 EVENT_TYPES = ("span_start", "span_end", "counter", "gauge", "series",
-               "mark")
+               "mark", "op")
+
+#: Legal ``phase`` values of an ``op`` event.
+OP_PHASES = ("forward", "backward")
 
 #: event -> {field: type or tuple of types}; None marks "int or null".
 _REQUIRED: dict[str, dict] = {
@@ -44,6 +54,8 @@ _REQUIRED: dict[str, dict] = {
     "gauge": {"name": str, "value": Number},
     "series": {"name": str, "step": int, "value": Number},
     "mark": {"name": str, "t": Number},
+    "op": {"name": str, "kind": str, "phase": str, "dur": Number,
+           "t": Number},
 }
 
 
@@ -71,6 +83,16 @@ def validate_event(record) -> list[str]:
         problems.append(f"{kind}.attrs must be an object")
     if "timing" in record and not isinstance(record["timing"], bool):
         problems.append(f"{kind}.timing must be a boolean")
+    if kind == "op":
+        if record.get("phase") not in OP_PHASES:
+            problems.append(
+                f"op.phase must be one of {OP_PHASES}, "
+                f"got {record.get('phase')!r}")
+        for field in ("flops", "bytes"):
+            value = record.get(field)
+            if value is not None and (isinstance(value, bool)
+                                      or not isinstance(value, int)):
+                problems.append(f"op.{field} must be an integer")
     return problems
 
 

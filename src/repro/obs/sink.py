@@ -18,7 +18,7 @@ from pathlib import Path
 from typing import Any
 
 __all__ = ["MetricsError", "MetricsSink", "jsonable", "repair_torn_tail",
-           "read_events", "METRICS_FILENAME"]
+           "read_events", "read_events_report", "METRICS_FILENAME"]
 
 #: Name of the event stream inside a metrics directory.
 METRICS_FILENAME = "metrics.jsonl"
@@ -74,6 +74,19 @@ def read_events(path: str | Path, strict: bool = False) -> list[dict]:
     integrity checks (``repro metrics --check``) must not bless a stream
     that lost data, even tolerably.
     """
+    records, torn = read_events_report(path)
+    if torn and strict:
+        raise MetricsError(f"torn final line in {path}")
+    return records
+
+
+def read_events_report(path: str | Path) -> tuple[list[dict], bool]:
+    """Intact records plus whether a torn final line was dropped.
+
+    The boolean lets tolerant readers still *tell* the user data was
+    lost (``repro metrics <dir>`` prints a repaired-tail notice) instead
+    of summarising a crashed stream silently.
+    """
     path = Path(path)
     if not path.exists():
         raise MetricsError(f"no metrics stream at {path}")
@@ -88,13 +101,10 @@ def read_events(path: str | Path, strict: bool = False) -> list[dict]:
         except json.JSONDecodeError:
             if index == len(lines) - 1 or all(
                     not later.strip() for later in lines[index + 1:]):
-                if strict:
-                    raise MetricsError(
-                        f"torn final line {index + 1} in {path}") from None
-                break  # torn final write from a crash — ignore
+                return records, True  # torn final write from a crash
             raise MetricsError(
                 f"corrupt metrics line {index + 1} in {path}") from None
-    return records
+    return records, False
 
 
 class MetricsSink:

@@ -9,9 +9,17 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from .sink import METRICS_FILENAME, read_events
+from .sink import METRICS_FILENAME, read_events, read_events_report
 
-__all__ = ["load_metrics", "summarize", "summarize_dir"]
+__all__ = ["load_metrics", "load_metrics_report", "summarize",
+           "summarize_dir", "slowest_spans"]
+
+
+def _stream_path(path: str | Path) -> Path:
+    path = Path(path)
+    if path.is_dir():
+        path = path / METRICS_FILENAME
+    return path
 
 
 def load_metrics(path: str | Path, strict: bool = False) -> list[dict]:
@@ -20,10 +28,17 @@ def load_metrics(path: str | Path, strict: bool = False) -> list[dict]:
     ``strict=True`` refuses a stream with a torn final line (see
     :func:`repro.obs.sink.read_events`).
     """
-    path = Path(path)
-    if path.is_dir():
-        path = path / METRICS_FILENAME
-    return read_events(path, strict=strict)
+    return read_events(_stream_path(path), strict=strict)
+
+
+def load_metrics_report(path: str | Path) -> tuple[list[dict], bool]:
+    """Like :func:`load_metrics`, plus whether a torn tail was dropped.
+
+    The boolean lets callers (``repro metrics <dir>`` without
+    ``--check``) surface an explicit "dropped torn tail" notice instead
+    of silently summarising a stream that lost its final record.
+    """
+    return read_events_report(_stream_path(path))
 
 
 def summarize(events) -> dict:
@@ -33,6 +48,7 @@ def summarize(events) -> dict:
     series: dict[str, list[float]] = {}
     marks: dict[str, int] = {}
     spans: dict[str, dict] = {}
+    ops: dict[str, dict[str, dict]] = {}
     for record in events:
         kind = record.get("event")
         name = record.get("name")
@@ -53,6 +69,14 @@ def summarize(events) -> dict:
             stats["total_s"] += duration
             stats["min_s"] = min(stats["min_s"], duration)
             stats["max_s"] = max(stats["max_s"], duration)
+        elif kind == "op":
+            stats = ops.setdefault(name, {}).setdefault(
+                record["phase"], {"count": 0, "total_s": 0.0, "flops": 0,
+                                  "bytes": 0, "kind": record["kind"]})
+            stats["count"] += 1
+            stats["total_s"] += record["dur"]
+            stats["flops"] += record.get("flops") or 0
+            stats["bytes"] += record.get("bytes") or 0
     for stats in spans.values():
         stats["mean_s"] = stats["total_s"] / stats["count"]
     return {
@@ -68,7 +92,42 @@ def summarize(events) -> dict:
                          "mean_s": s["mean_s"], "min_s": s["min_s"],
                          "max_s": s["max_s"]}
                   for name, s in spans.items()},
+        "ops": {name: {phase: dict(stats) for phase, stats in phases.items()}
+                for name, phases in ops.items()},
     }
+
+
+def slowest_spans(events, n: int = 5) -> list[dict]:
+    """The ``n`` individual slowest spans of a stream, longest first.
+
+    Unlike the per-name aggregates of :func:`summarize`, each entry is
+    one concrete span instance — the hotspots a timeline would show:
+    ``{"name", "span", "dur", "start", "attrs"}`` where ``start`` is the
+    wall-clock offset from the stream's first timestamp (``None`` when
+    the matching ``span_start`` is missing, e.g. a truncated stream).
+    """
+    first_t: float | None = None
+    starts: dict[int, dict] = {}
+    finished: list[dict] = []
+    for record in events:
+        if record.get("event") not in ("span_start", "span_end"):
+            continue
+        t = record.get("t")
+        if first_t is None and t is not None:
+            first_t = t
+        if record["event"] == "span_start":
+            starts[record["span"]] = record
+        else:
+            opened = starts.pop(record["span"], None)
+            entry = {"name": record["name"], "span": record["span"],
+                     "dur": record["dur"], "start": None, "attrs": {}}
+            if opened is not None:
+                entry["attrs"] = opened.get("attrs") or {}
+                if opened.get("t") is not None and first_t is not None:
+                    entry["start"] = opened["t"] - first_t
+            finished.append(entry)
+    finished.sort(key=lambda e: (-e["dur"], e["span"]))
+    return finished[:n]
 
 
 def summarize_dir(path: str | Path) -> dict:

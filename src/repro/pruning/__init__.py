@@ -11,7 +11,8 @@ from .pipeline import (LayerPruneRecord, WholeModelResult, budget_keep_count,
 from .quantization import (QuantizationReport, quantize_weights,
                            quantized_storage_bytes)
 from .schedule import GradualSchedule, iterative_prune
-from .stats import LayerStats, ModelStats, compression_ratio, profile_model
+from .stats import (LayerStats, ModelStats, compression_ratio, layer_cost,
+                    profile_model)
 from .surgery import (channel_mask, compressed_mask, keep_indices,
                       prune_model, prune_unit)
 from .unstructured import (UnstructuredMasks, magnitude_prune,
@@ -27,7 +28,8 @@ __all__ = [
     "Consumer", "ConvUnit",
     "channel_mask", "compressed_mask", "prune_unit", "prune_model",
     "keep_indices",
-    "LayerStats", "ModelStats", "profile_model", "compression_ratio",
+    "LayerStats", "ModelStats", "layer_cost", "profile_model",
+    "compression_ratio",
     "LayerPruneRecord", "WholeModelResult", "budget_keep_count",
     "prune_whole_model",
     "GradualSchedule", "iterative_prune",

@@ -19,7 +19,8 @@ import numpy as np
 from ..nn.modules import BatchNorm2d, Conv2d, Linear, Module
 from ..nn.tensor import Tensor, no_grad
 
-__all__ = ["LayerStats", "ModelStats", "profile_model", "compression_ratio"]
+__all__ = ["LayerStats", "ModelStats", "layer_cost", "profile_model",
+           "compression_ratio"]
 
 
 @dataclass(frozen=True)
@@ -65,9 +66,14 @@ class ModelStats:
         raise KeyError(f"no traced layer named {name!r}")
 
 
-def _layer_cost(module: Module, in_shape: tuple[int, ...],
-                out_shape: tuple[int, ...]) -> tuple[int, int]:
-    """(params, flops-per-image) for one layer."""
+def layer_cost(module: Module, in_shape: tuple[int, ...],
+               out_shape: tuple[int, ...]) -> tuple[int, int]:
+    """(params, flops-per-image) for one layer.
+
+    The single source of FLOP accounting, shared by :func:`profile_model`
+    (static tables), the :mod:`repro.gpusim` roofline model and the
+    op-level profiler (:mod:`repro.obs.profile`).
+    """
     if isinstance(module, Conv2d):
         params = module.weight.size + (module.bias.size if module.bias is not None else 0)
         _, _, oh, ow = out_shape
@@ -97,7 +103,7 @@ def profile_model(model: Module, input_shape: tuple[int, int, int],
 
         def traced(x, _module=module, _name=name, _original=original):
             out = _original(_module, x)
-            params, flops = _layer_cost(_module, x.shape, out.shape)
+            params, flops = layer_cost(_module, x.shape, out.shape)
             records.append(LayerStats(
                 name=_name, kind=type(_module).__name__,
                 input_shape=tuple(x.shape), output_shape=tuple(out.shape),

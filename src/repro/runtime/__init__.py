@@ -24,7 +24,8 @@ from .errors import (AccuracyCollapseError, DivergenceError, JournalError,
 from .faults import FaultPlan, FaultSpec, SimulatedCrash, inject
 from .guards import (check_accuracy_collapse, require_all_finite,
                      require_finite)
-from .journal import FORMAT_VERSION, RunJournal, config_digest
+from .journal import (FORMAT_VERSION, RunJournal, config_digest,
+                      run_overview)
 from .retry import RetryPolicy
 from .watchdog import BudgetExceededError, StepBudget, StepWatchdog
 
@@ -33,7 +34,7 @@ __all__ = [
     "JournalError",
     "FaultPlan", "FaultSpec", "SimulatedCrash", "inject", "faults",
     "require_finite", "require_all_finite", "check_accuracy_collapse",
-    "RunJournal", "config_digest", "FORMAT_VERSION",
+    "RunJournal", "config_digest", "FORMAT_VERSION", "run_overview",
     "RetryPolicy",
     "StepBudget", "StepWatchdog", "BudgetExceededError",
     "ResumableRunner", "RunReport", "resume",

@@ -25,7 +25,7 @@ from ..obs.sink import jsonable as _jsonable
 from ..obs.sink import repair_torn_tail
 from .errors import JournalError
 
-__all__ = ["FORMAT_VERSION", "RunJournal", "config_digest"]
+__all__ = ["FORMAT_VERSION", "RunJournal", "config_digest", "run_overview"]
 
 # Version 2 (engine-generic stepped runs) renamed the per-layer record
 # bodies: the journal stores each step's engine payload/log instead of
@@ -131,3 +131,63 @@ class RunJournal:
         while count in have:
             count += 1
         return count
+
+
+def run_overview(records: Iterable[dict]) -> dict:
+    """Join-friendly view of a journal for run reports.
+
+    Groups the raw record stream by concern: the ``run_start`` header,
+    per-layer outcomes in index order (each annotated with any
+    ``degraded`` / ``layer_attempt_failed`` records for that index), and
+    the ``run_complete`` footer when the run finished.  Used by
+    :mod:`repro.obs.report` to annotate the metrics timeline; tolerant
+    of partial journals from crashed runs.
+    """
+    header: dict | None = None
+    final: dict | None = None
+    layers: dict[int, dict] = {}
+    degraded: list[dict] = []
+    failures: list[dict] = []
+    for record in records:
+        kind = record.get("record")
+        if kind == "run_start":
+            header = record
+        elif kind in ("layer_complete", "layer_skipped"):
+            index = int(record["index"])
+            layers[index] = {
+                "index": index,
+                "name": record.get("name"),
+                "status": "complete" if kind == "layer_complete"
+                          else "skipped",
+                "engine": record.get("engine"),
+                "attempts": record.get("attempts"),
+                "log": record.get("log"),
+                "degraded": False,
+                "failures": [],
+            }
+        elif kind == "degraded":
+            degraded.append(record)
+        elif kind == "layer_attempt_failed":
+            failures.append(record)
+        elif kind == "run_complete":
+            final = record
+    for record in degraded:
+        layer = layers.get(int(record.get("index", -1)))
+        if layer is not None:
+            layer["degraded"] = True
+            layer["degraded_engine"] = record.get("engine")
+    for record in failures:
+        layer = layers.get(int(record.get("index", -1)))
+        if layer is not None:
+            layer["failures"].append(
+                {"attempt": record.get("attempt"),
+                 "kind": record.get("kind"),
+                 "message": record.get("message")})
+    return {
+        "header": header,
+        "layers": [layers[i] for i in sorted(layers)],
+        "degraded": degraded,
+        "attempt_failures": failures,
+        "final": final,
+        "complete": final is not None,
+    }

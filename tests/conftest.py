@@ -57,6 +57,29 @@ def trained_mini_resnet(tiny_task):
     return model
 
 
+@pytest.fixture(scope="session")
+def journaled_run(tmp_path_factory):
+    """A real journaled+profiled HeadStart prune run directory.
+
+    One CLI invocation shared by the trace/report/diff tests: the
+    directory holds ``journal.jsonl``, ``metrics.jsonl`` (with ``op``
+    events from ``--profile-ops``) and per-layer checkpoints.  Treat it
+    as read-only; tests that mutate the stream copy it first.
+    """
+    from repro.cli import main
+
+    run_dir = tmp_path_factory.mktemp("journaled_run")
+    code = main(["prune", "--model", "lenet", "--classes", "4",
+                 "--image-size", "12", "--train-per-class", "6",
+                 "--test-per-class", "3", "--epochs", "1",
+                 "--iterations", "6", "--finetune-epochs", "1",
+                 "--eval-batch", "16",
+                 "--run-dir", str(run_dir),
+                 "--metrics-dir", str(run_dir), "--profile-ops"])
+    assert code == 0
+    return run_dir
+
+
 @pytest.fixture
 def calibration(tiny_task):
     """(images, labels) calibration arrays from the tiny task."""

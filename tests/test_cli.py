@@ -46,6 +46,44 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fps", "--device", "tpu"])
 
+    def test_profile_ops_flag_rides_on_recording_commands(self):
+        for command in (["train"], ["prune"]):
+            args = build_parser().parse_args(command + ["--profile-ops"])
+            assert args.profile_ops
+            assert not build_parser().parse_args(command).profile_ops
+
+    def test_metrics_diff_positional_form(self):
+        args = build_parser().parse_args(
+            ["metrics", "diff", "a", "b", "--counter-tolerance", "25",
+             "--no-wall"])
+        assert args.dir == "diff"
+        assert args.rest == ["a", "b"]
+        assert args.counter_tolerance == 25.0
+        assert args.no_wall
+        # Plain summarise form is unchanged by the diff grammar.
+        plain = build_parser().parse_args(["metrics", "m"])
+        assert plain.dir == "m" and plain.rest == []
+        assert plain.wall_tolerance == 50.0
+        assert plain.min_seconds == 0.05
+
+    def test_metrics_trace_and_top(self):
+        args = build_parser().parse_args(
+            ["metrics", "m", "--trace", "out.json", "--top", "3"])
+        assert args.trace == "out.json"
+        assert args.top == 3
+
+    def test_report_takes_optional_run_dir(self):
+        args = build_parser().parse_args(
+            ["report", "run", "--format", "md", "--top", "7"])
+        assert args.run_dir == "run"
+        assert args.format == "md"
+        assert args.top == 7
+        legacy = build_parser().parse_args(["report"])
+        assert legacy.run_dir is None
+        assert legacy.out is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "run", "--format", "pdf"])
+
 
 class TestCommands:
     def test_profile_runs(self, capsys):
@@ -211,6 +249,82 @@ class TestMetricsCommand:
         assert main(["metrics", str(tmp_path), "--check"]) == 2
         assert "torn final line" in capsys.readouterr().err
 
+    def test_plain_summarise_announces_torn_tail_repair(self, tmp_path,
+                                                        capsys):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text('{"event":"counter","name":"c","value":1}\n'
+                        '{"event":"gauge","na')
+        assert main(["metrics", str(tmp_path)]) == 0
+        err = capsys.readouterr().err
+        assert "note: torn final line" in err
+        assert "repaired" in err
+
+    def test_summary_lists_slowest_spans_and_ops(self, journaled_run,
+                                                 capsys):
+        assert main(["metrics", str(journaled_run), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top 3 slowest spans" in out
+        assert "profiled ops" in out
+        # A clean run emits no marks, so no annotations table appears.
+        assert "annotations" not in out
+
+    def test_summary_counts_marks_per_name(self, tmp_path, capsys):
+        (tmp_path / "metrics.jsonl").write_text(
+            '{"event":"mark","name":"runtime/degraded","t":1.0}\n'
+            '{"event":"mark","name":"runtime/degraded","t":2.0}\n'
+            '{"event":"mark","name":"runtime/rollback","t":3.0}\n')
+        assert main(["metrics", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "annotations" in out
+        assert "runtime/degraded" in out and "runtime/rollback" in out
+
+    def test_trace_flag_exports_chrome_trace(self, journaled_run, tmp_path,
+                                             capsys):
+        out_path = tmp_path / "run.trace.json"
+        assert main(["metrics", str(journaled_run),
+                     "--trace", str(out_path)]) == 0
+        assert "chrome trace written to" in capsys.readouterr().out
+        import json
+        trace = json.loads(out_path.read_text())
+        assert obs.validate_chrome_trace(trace) == []
+
+
+class TestMetricsDiffCommand:
+    def test_self_diff_is_clean(self, journaled_run, capsys):
+        assert main(["metrics", "diff", str(journaled_run),
+                     str(journaled_run)]) == 0
+        assert "no differences" in capsys.readouterr().out
+
+    def test_wall_regression_exits_one(self, journaled_run, tmp_path,
+                                       capsys):
+        import json
+        slow = tmp_path / "slow"
+        slow.mkdir()
+        lines = []
+        for line in (journaled_run / "metrics.jsonl").read_text() \
+                .splitlines():
+            record = json.loads(line)
+            if record.get("event") == "span_end" \
+                    and record["name"] == "prune_layer":
+                record["dur"] += 1.0
+            lines.append(json.dumps(record))
+        (slow / "metrics.jsonl").write_text("\n".join(lines) + "\n")
+        assert main(["metrics", "diff", str(journaled_run),
+                     str(slow)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        capsys.readouterr()
+        assert main(["metrics", "diff", str(journaled_run), str(slow),
+                     "--no-wall"]) == 0
+
+    def test_usage_and_operand_errors_exit_two(self, tmp_path, capsys):
+        assert main(["metrics", "diff", "only-one"]) == 2
+        assert "usage:" in capsys.readouterr().err
+        assert main(["metrics", "diff", str(tmp_path / "a"),
+                     str(tmp_path / "b")]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["metrics", "m", "stray"]) == 2
+        assert "unexpected arguments" in capsys.readouterr().err
+
 
 class TestReportCommand:
     def test_report_generates_markdown(self, tmp_path, capsys):
@@ -222,6 +336,24 @@ class TestReportCommand:
                      "--out", str(out)]) == 0
         assert out.exists()
         assert "figure6" in out.read_text()
+
+    def test_report_run_dir_writes_html_and_md(self, journaled_run,
+                                               tmp_path, capsys):
+        html_out = tmp_path / "run.html"
+        assert main(["report", str(journaled_run),
+                     "--out", str(html_out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert html_out.read_text().startswith("<!DOCTYPE html>")
+        md_out = tmp_path / "run.md"
+        assert main(["report", str(journaled_run), "--format", "md",
+                     "--out", str(md_out)]) == 0
+        text = md_out.read_text()
+        assert "slowest spans" in text
+        assert "Op-level attribution" in text
+
+    def test_report_missing_run_dir_exits_two(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "absent")]) == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_fps_includes_energy_column(self, capsys):
         assert main(["fps", "--model", "lenet", "--classes", "4",

@@ -1,0 +1,143 @@
+"""Chrome trace export: mapping, validation, real-run round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import OP_TID, SPAN_TID
+
+
+def _trace_events(trace, ph=None):
+    events = trace["traceEvents"]
+    if ph is None:
+        return events
+    return [e for e in events if e["ph"] == ph]
+
+
+SYNTHETIC = [
+    {"event": "span_start", "name": "run", "span": 1, "parent": None,
+     "t": 100.0},
+    {"event": "counter", "name": "evals", "value": 3},
+    {"event": "span_start", "name": "prune_layer", "span": 2, "parent": 1,
+     "t": 100.5, "attrs": {"layer": "conv1"}},
+    {"event": "op", "name": "conv1", "kind": "Conv2d", "phase": "forward",
+     "dur": 0.01, "t": 100.6, "flops": 1000, "bytes": 2048},
+    {"event": "series", "name": "reward", "step": 0, "value": 0.5},
+    {"event": "gauge", "name": "acc", "value": 0.9},
+    {"event": "mark", "name": "runtime/degraded", "t": 100.7,
+     "attrs": {"step": "conv1"}},
+    {"event": "span_end", "name": "prune_layer", "span": 2, "dur": 0.3,
+     "ok": True, "t": 100.8},
+    {"event": "span_end", "name": "run", "span": 1, "dur": 0.9, "ok": True,
+     "t": 100.9},
+]
+
+
+class TestMapping:
+    def test_spans_become_balanced_b_e_pairs(self):
+        trace = obs.to_chrome_trace(SYNTHETIC)
+        begins = _trace_events(trace, "B")
+        ends = _trace_events(trace, "E")
+        assert [e["name"] for e in begins] == ["run", "prune_layer"]
+        assert [e["name"] for e in ends] == ["prune_layer", "run"]
+        assert all(e["tid"] == SPAN_TID for e in begins + ends)
+
+    def test_timestamps_are_relative_microseconds(self):
+        trace = obs.to_chrome_trace(SYNTHETIC)
+        begins = _trace_events(trace, "B")
+        assert begins[0]["ts"] == 0.0
+        assert begins[1]["ts"] == pytest.approx(0.5e6)
+
+    def test_ops_become_complete_events_on_their_own_thread(self):
+        trace = obs.to_chrome_trace(SYNTHETIC)
+        (op,) = _trace_events(trace, "X")
+        assert op["tid"] == OP_TID
+        assert op["dur"] == pytest.approx(0.01e6)
+        assert op["args"]["flops"] == 1000
+        assert op["args"]["bytes"] == 2048
+        assert op["args"]["phase"] == "forward"
+        # ts is the op's start: end minus duration.
+        assert op["ts"] == pytest.approx(0.6e6 - 0.01e6)
+
+    def test_marks_become_instant_events(self):
+        trace = obs.to_chrome_trace(SYNTHETIC)
+        (mark,) = _trace_events(trace, "i")
+        assert mark["name"] == "runtime/degraded"
+        assert mark["args"] == {"step": "conv1"}
+
+    def test_counters_accumulate_and_gauges_track(self):
+        events = SYNTHETIC + [{"event": "counter", "name": "evals",
+                               "value": 2}]
+        trace = obs.to_chrome_trace(events)
+        counters = [e for e in _trace_events(trace, "C")
+                    if e["name"] == "evals"]
+        assert [c["args"]["value"] for c in counters] == [3, 5]
+
+    def test_metadata_names_process_and_threads(self):
+        trace = obs.to_chrome_trace(SYNTHETIC, process_name="myrun")
+        meta = _trace_events(trace, "M")
+        assert len(meta) == 3
+        labels = {e["args"]["name"] for e in meta}
+        assert labels == {"myrun", "spans", "ops"}
+
+
+class TestCrashTolerance:
+    def test_dangling_spans_are_auto_closed(self):
+        truncated = SYNTHETIC[:4]  # run + prune_layer open, never closed
+        trace = obs.to_chrome_trace(truncated)
+        assert obs.validate_chrome_trace(trace) == []
+        ends = _trace_events(trace, "E")
+        assert [e["name"] for e in ends] == ["prune_layer", "run"]
+        assert all(e["args"]["auto_closed"] for e in ends)
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert obs.validate_chrome_trace([]) != []
+        assert obs.validate_chrome_trace({"traceEvents": 3}) != []
+
+    def test_rejects_unbalanced_spans(self):
+        trace = {"traceEvents": [
+            {"ph": "B", "pid": 1, "tid": 1, "name": "a", "ts": 0}]}
+        problems = obs.validate_chrome_trace(trace)
+        assert any("unclosed" in p for p in problems)
+
+    def test_rejects_mismatched_end_name(self):
+        trace = {"traceEvents": [
+            {"ph": "B", "pid": 1, "tid": 1, "name": "a", "ts": 0},
+            {"ph": "E", "pid": 1, "tid": 1, "name": "b", "ts": 1}]}
+        problems = obs.validate_chrome_trace(trace)
+        assert any("innermost open span" in p for p in problems)
+
+    def test_rejects_negative_timestamps_and_durations(self):
+        trace = {"traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 2, "name": "op", "ts": -1,
+             "dur": -2}]}
+        problems = obs.validate_chrome_trace(trace)
+        assert any("negative ts" in p for p in problems)
+        assert any("negative dur" in p for p in problems)
+
+
+class TestRealRunRoundTrip:
+    def test_journaled_run_stream_exports_and_validates(self, journaled_run,
+                                                        tmp_path):
+        out = tmp_path / "run.trace.json"
+        trace = obs.write_chrome_trace(journaled_run, out)
+        assert obs.validate_chrome_trace(trace) == []
+        loaded = json.loads(out.read_text(encoding="utf-8"))
+        assert loaded == trace
+        assert obs.validate_chrome_trace(loaded) == []
+        names = {e["name"] for e in loaded["traceEvents"]}
+        assert any("prune_layer" in n for n in names)
+        # --profile-ops ran, so the ops thread must be populated.
+        assert [e for e in loaded["traceEvents"] if e["ph"] == "X"]
+
+    def test_real_stream_trace_matches_span_counts(self, journaled_run):
+        events = obs.load_metrics(journaled_run)
+        trace = obs.to_chrome_trace(events)
+        span_starts = sum(1 for e in events if e["event"] == "span_start")
+        begins = len([e for e in trace["traceEvents"] if e["ph"] == "B"])
+        assert begins == span_starts
