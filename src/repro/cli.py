@@ -20,7 +20,12 @@ Subcommands cover the experiment lifecycle on synthetic tasks:
 * ``report``  — with a run directory, write a self-contained HTML/
   Markdown run report joining the metrics stream with the runtime
   journal; without one, regenerate EXPERIMENTS.md from benchmark
-  records (the legacy mode).
+  records (the legacy mode);
+* ``serve``   — file-backed pruning job queue + daemon: ``--submit``
+  enqueues spec files, ``--status`` shows per-job progress from the
+  run journals, and daemon mode claims and runs jobs (resuming any a
+  dead daemon left behind); per-job runs shard reward evaluations
+  across the supervised process pool (``--workers``).
 
 Every command is deterministic under ``--seed``; ``train``, ``prune``
 and ``fps`` accept ``--metrics-dir`` to stream observability events
@@ -227,7 +232,10 @@ def _cmd_prune(args) -> int:
                              eval_batch=args.eval_batch, seed=args.seed,
                              eval_cache=args.eval_cache,
                              cache_size=args.cache_size,
-                             compressed_eval=args.compressed_eval)
+                             compressed_eval=args.compressed_eval,
+                             workers=args.workers,
+                             task_seconds=args.task_seconds,
+                             task_retries=args.task_retries)
     if args.mode == "block":
         if not isinstance(model, ResNet):
             print("block mode requires a ResNet", file=sys.stderr)
@@ -317,6 +325,49 @@ def _cmd_prune(args) -> int:
     if args.out:
         path = save_checkpoint(model, args.out)
         print(f"pruned checkpoint written to {path}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from .runtime.serve import JobQueue, ServeDaemon
+
+    queue = JobQueue(args.root)
+    acted = False
+    for spec_path in args.submit or ():
+        try:
+            with open(spec_path, "r", encoding="utf-8") as handle:
+                spec = json.load(handle)
+            if not isinstance(spec, dict):
+                raise ValueError(f"{spec_path}: job spec must be a JSON "
+                                 "object")
+            job_id = queue.submit(spec)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"submitted {job_id} ({spec_path})")
+        acted = True
+    if args.status:
+        table = Table(["STATE", "JOB", "STEPS", "RUN"],
+                      title=f"queue at {args.root}")
+        for state, jobs in queue.status().items():
+            for job in jobs:
+                run = "complete" if job["complete"] else "in progress"
+                if job.get("degraded"):
+                    run += f" ({job['degraded']} degraded)"
+                table.add_row([state, job["job"], job["steps_done"], run])
+        print(table.render())
+        acted = True
+    # Submit/status-only invocations exit without running jobs; anything
+    # else (including a bare `repro serve <root>`) runs the daemon.
+    if acted and not args.once and args.max_jobs is None:
+        return 0
+    daemon = ServeDaemon(args.root, workers=args.workers,
+                         poll_seconds=args.poll_seconds,
+                         max_jobs=args.max_jobs)
+    processed = daemon.run(once=args.once)
+    print(f"processed {processed} job(s)")
     return 0
 
 
@@ -584,6 +635,18 @@ def build_parser() -> argparse.ArgumentParser:
     prune.add_argument("--cache-size", type=int, default=256,
                        help="eval-cache capacity in distinct masks per "
                             "layer (0 = unbounded)")
+    prune.add_argument("--workers", type=int, default=0,
+                       help="evaluate REINFORCE reward samples on this many "
+                            "supervised worker processes (0 = in-process "
+                            "serial; results are bitwise-identical either "
+                            "way)")
+    prune.add_argument("--task-seconds", type=float, default=None,
+                       help="wall-clock timeout per pooled evaluation; a "
+                            "worker that exceeds it is killed and the task "
+                            "retried (default: no timeout)")
+    prune.add_argument("--task-retries", type=int, default=2,
+                       help="retries per pooled evaluation before that task "
+                            "degrades to in-process serial (default 2)")
     prune.add_argument("--compressed-eval", action="store_true",
                        help="physically skip masked channels during reward "
                             "evaluation (faster; equal to dense masking "
@@ -644,6 +707,31 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default="BENCH_reinforce.json",
                        help="where to write the JSON report")
     bench.set_defaults(handler=_cmd_bench)
+
+    serve = commands.add_parser(
+        "serve", help="file-backed pruning job queue: submit specs, show "
+                      "status, or run the claiming daemon")
+    serve.add_argument("root", help="queue directory (created if missing); "
+                                    "holds pending/active/done/failed specs, "
+                                    "per-job run dirs and serve.jsonl")
+    serve.add_argument("--submit", action="append", default=None,
+                       metavar="SPEC",
+                       help="enqueue a JSON job-spec file (repeatable); "
+                            "every field is optional — see "
+                            "repro.runtime.serve.SPEC_DEFAULTS")
+    serve.add_argument("--status", action="store_true",
+                       help="print per-job state and run-journal progress")
+    serve.add_argument("--once", action="store_true",
+                       help="drain the queue and exit instead of polling "
+                            "forever")
+    serve.add_argument("--max-jobs", type=int, default=None,
+                       help="stop after running this many jobs")
+    serve.add_argument("--poll-seconds", type=float, default=1.0,
+                       help="idle sleep between queue polls (daemon mode)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="override every job's evaluation-pool width "
+                            "(default: honour each spec's own setting)")
+    serve.set_defaults(handler=_cmd_serve)
 
     report = commands.add_parser(
         "report", help="run report from a journaled run dir; without one, "

@@ -123,22 +123,69 @@ class LayerAgent:
             reward_fn = cache
         return reward_fn, final_fn, cache
 
+    def _build_pool(self, reward_fn, final_fn, cache):
+        """A supervised :class:`~repro.runtime.pool.EvalPool`, or ``None``.
+
+        The pool gets the *raw* reward function — worker processes keep
+        their own private caches; the parent cache stays authoritative
+        and only ever sees values through the driver's lookup/insert
+        sequence.  Calibration arrays are moved into shared memory
+        first, so the workers forked by the pool constructor map one
+        copy of the data.  Returns ``(pool, shared, originals)`` for the
+        caller's finally-block to unwind.
+        """
+        from ..runtime.pool import EvalPool, SharedArrays
+        shared = SharedArrays(images=self.images, labels=self.labels,
+                              full_images=self.full_images,
+                              full_labels=self.full_labels)
+        originals = (self.images, self.labels,
+                     self.full_images, self.full_labels)
+        self.images = shared["images"]
+        self.labels = shared["labels"]
+        self.full_images = shared["full_images"]
+        self.full_labels = shared["full_labels"]
+        raw_fn = cache.reward_fn if cache is not None else reward_fn
+        pool = EvalPool({"batch": raw_fn, "final": final_fn},
+                        workers=self.config.workers,
+                        task_seconds=self.config.task_seconds,
+                        task_retries=self.config.task_retries,
+                        seed=self.config.seed,
+                        scope=self.unit.name,
+                        cache_size=self.config.cache_size,
+                        worker_cache=self.config.eval_cache)
+        return pool, shared, originals
+
     # -- main loop -----------------------------------------------------------
     def run(self) -> AgentResult:
         """Train the policy until the reward stabilises; return the inception."""
         original_accuracy = evaluate(self.model, self.images, self.labels)
         reward_fn, final_fn, cache = self._reward_fns(original_accuracy)
-        driver = ReinforceDriver(
-            self.policy, reward_fn=reward_fn,
-            config=self.config, rng=self.rng,
-            final_reward_fn=final_fn)
-        outcome = driver.run()
+        pool = shared = originals = None
+        if self.config.workers > 0:
+            pool, shared, originals = self._build_pool(reward_fn, final_fn,
+                                                       cache)
+        try:
+            driver = ReinforceDriver(
+                self.policy, reward_fn=reward_fn,
+                config=self.config, rng=self.rng,
+                final_reward_fn=final_fn, pool=pool)
+            outcome = driver.run()
+        finally:
+            if pool is not None:
+                pool.close()
+            if originals is not None:
+                (self.images, self.labels,
+                 self.full_images, self.full_labels) = originals
+            if shared is not None:
+                shared.close()
         keep_mask = outcome.action.astype(bool)
         cache_stats = None
         if cache is not None:
             cache_stats = cache.stats()
             get_recorder().gauge("evalcache/hit_rate", cache.hit_rate,
                                  layer=self.unit.name)
+            if pool is not None:
+                cache_stats["workers"] = pool.cache_summary()
         return AgentResult(
             keep_mask=keep_mask, probabilities=outcome.probabilities,
             iterations=outcome.iterations,

@@ -25,7 +25,8 @@ __all__ = ["HeadStartConfig", "PERF_FIELDS", "resume_relevant"]
 #: still excluded because both paths round identically often enough for
 #: accuracy-based rewards, and flipping it mid-run is an operator
 #: decision, not a config change.
-PERF_FIELDS = ("eval_cache", "cache_size", "compressed_eval")
+PERF_FIELDS = ("eval_cache", "cache_size", "compressed_eval",
+               "workers", "task_seconds", "task_retries")
 
 
 def resume_relevant(config) -> dict:
@@ -122,6 +123,22 @@ class HeadStartConfig:
         skips dropped channels instead of multiplying by zeros.  Faster
         at high sparsity but only ~1e-10-equivalent to the dense masked
         forward, so it defaults off; see ``docs/PERFORMANCE.md``.
+    workers:
+        Number of pool worker processes scoring candidate masks in
+        parallel (:class:`repro.runtime.pool.EvalPool`); 0 (the default)
+        evaluates serially in-process.  Bit-for-bit neutral: results are
+        merged in deterministic submission order, so a parallel run's
+        rewards, journal and final weights are identical to a serial
+        run at the same seed.
+    task_seconds:
+        Per-task wall-clock timeout inside the pool; a worker that does
+        not answer within the budget is killed and its task retried on a
+        fresh worker.  ``None`` disables the timeout.
+    task_retries:
+        Bounded attempts per pool task beyond the first (worker crashes
+        and timeouts requeue the task); once exhausted, the task — and
+        eventually the whole pool — degrades to in-process serial
+        evaluation, which computes identical values.
     """
 
     speedup: float = 2.0
@@ -147,6 +164,9 @@ class HeadStartConfig:
     eval_cache: bool = True
     cache_size: int = 256
     compressed_eval: bool = False
+    workers: int = 0
+    task_seconds: float | None = None
+    task_retries: int = 2
 
     def __post_init__(self):
         if self.speedup < 1.0:
@@ -163,3 +183,9 @@ class HeadStartConfig:
             raise ValueError("exploration must lie in [0, 0.5)")
         if self.cache_size < 0:
             raise ValueError("cache_size must be >= 0 (0 means unbounded)")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 means serial)")
+        if self.task_seconds is not None and self.task_seconds <= 0:
+            raise ValueError("task_seconds must be positive (or None)")
+        if self.task_retries < 0:
+            raise ValueError("task_retries must be >= 0")

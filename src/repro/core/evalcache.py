@@ -72,35 +72,61 @@ class EvalCache:
     scope:
         Attribute attached to the emitted ``evalcache/*`` counters so
         per-layer caches are distinguishable in a metrics stream.
+    emit:
+        Whether hit/miss/eviction counters stream to the process
+        recorder.  Pool workers run with ``emit=False`` — they must not
+        write to the parent's metrics sink — and return their counts as
+        deltas the parent merges deterministically at step end
+        (:mod:`repro.runtime.pool`).
     """
 
     def __init__(self, reward_fn: Callable[[np.ndarray], float],
-                 maxsize: int = 256, scope: str = ""):
+                 maxsize: int = 256, scope: str = "", emit: bool = True):
         self.reward_fn = reward_fn
         self.maxsize = int(maxsize)
         self.scope = scope
+        self.emit = bool(emit)
         self._store: OrderedDict[bytes, float] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     # -- the memoized call --------------------------------------------------
-    def __call__(self, action: np.ndarray) -> float:
+    def lookup(self, action: np.ndarray) -> float | None:
+        """Cached value for ``action``, or ``None``; counts the hit/miss.
+
+        A miss is counted here (not at :meth:`insert`) so the hit/miss
+        sequence of a ``lookup``-then-``insert`` caller — the pool's
+        check-submit-merge path — is identical to the plain
+        :meth:`__call__` sequence.
+        """
         key = mask_key(action)
-        rec = get_recorder()
         if key in self._store:
             self.hits += 1
             self._store.move_to_end(key)
-            rec.counter("evalcache/hits", 1, scope=self.scope)
+            if self.emit:
+                get_recorder().counter("evalcache/hits", 1, scope=self.scope)
             return self._store[key]
         self.misses += 1
-        rec.counter("evalcache/misses", 1, scope=self.scope)
-        value = self.reward_fn(action)
-        self._store[key] = value
+        if self.emit:
+            get_recorder().counter("evalcache/misses", 1, scope=self.scope)
+        return None
+
+    def insert(self, action: np.ndarray, value: float) -> None:
+        """Store a value computed elsewhere (the miss was counted at lookup)."""
+        self._store[mask_key(action)] = value
         if self.maxsize > 0 and len(self._store) > self.maxsize:
             self._store.popitem(last=False)
             self.evictions += 1
-            rec.counter("evalcache/evictions", 1, scope=self.scope)
+            if self.emit:
+                get_recorder().counter("evalcache/evictions", 1,
+                                       scope=self.scope)
+
+    def __call__(self, action: np.ndarray) -> float:
+        value = self.lookup(action)
+        if value is None:
+            value = self.reward_fn(action)
+            self.insert(action, value)
         return value
 
     # -- introspection ------------------------------------------------------

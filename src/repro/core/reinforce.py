@@ -29,7 +29,7 @@ from ..runtime import faults
 from ..runtime.guards import require_all_finite, require_finite
 from ._optim import _policy_optimizer
 from .config import HeadStartConfig
-from .evalcache import mask_key
+from .evalcache import EvalCache, mask_key
 from .policy import (HeadStartNetwork, bernoulli_log_prob, sample_actions,
                      threshold_action)
 
@@ -65,18 +65,28 @@ class ReinforceDriver:
     final_reward_fn:
         Optional re-scoring of finalist candidates (e.g. on the full
         calibration set); defaults to ``reward_fn``.
+    pool:
+        Optional :class:`~repro.runtime.pool.EvalPool` scoring candidate
+        batches (function ``"batch"``) and finalists (``"final"``) in
+        worker processes.  Value-neutral: pooled results are merged in
+        submission order and the reward functions are pure, so outcomes
+        are bit-for-bit identical to serial evaluation.  Exchange
+        mutations (one per iteration) stay in-process — a single eval
+        is not worth a round-trip.
     """
 
     def __init__(self, policy: HeadStartNetwork,
                  reward_fn: Callable[[np.ndarray], float],
                  config: HeadStartConfig,
                  rng: np.random.Generator,
-                 final_reward_fn: Callable[[np.ndarray], float] | None = None):
+                 final_reward_fn: Callable[[np.ndarray], float] | None = None,
+                 pool=None):
         self.policy = policy
         self.reward_fn = reward_fn
         self.final_reward_fn = final_reward_fn or reward_fn
         self.config = config
         self.rng = rng
+        self.pool = pool
         self.optimizer = _policy_optimizer(policy, config)
         # run() restarts from this captured state every time, so calling
         # it twice on one driver yields identical outcomes (no policy
@@ -97,11 +107,49 @@ class ReinforceDriver:
         naive one-call-per-candidate loop and the returned rewards are
         identical to it.
         """
+        if self.pool is not None:
+            return self._score_candidates_pooled(candidates)
         unique: dict[bytes, float] = {}
         for action in candidates:
             key = mask_key(action)
             if key not in unique:
                 unique[key] = float(self.reward_fn(action))
+        rec = get_recorder()
+        rec.counter("reinforce/reward_evals", len(candidates))
+        rec.counter("reinforce/unique_evals", len(unique))
+        return np.array([unique[mask_key(action)] for action in candidates])
+
+    def _score_candidates_pooled(self,
+                                 candidates: list[np.ndarray]) -> np.ndarray:
+        """Pool-backed :meth:`_score_candidates` with identical semantics.
+
+        The parent cache (when ``reward_fn`` is an
+        :class:`~repro.core.evalcache.EvalCache`) is consulted for every
+        unique mask in first-appearance order — the same hit/miss
+        counter sequence the serial path emits — and only the misses go
+        to the pool, whose results are inserted back in submission
+        order.  Rewards, counters and cache state all end up exactly as
+        the serial path would leave them (the one scheduling-visible
+        nuance: with a cache so small it evicts *within* one batch, the
+        eviction events land after the batch instead of interleaved).
+        """
+        cache = self.reward_fn if isinstance(self.reward_fn, EvalCache) \
+            else None
+        unique: dict[bytes, float | None] = {}
+        misses: list[np.ndarray] = []
+        for action in candidates:
+            key = mask_key(action)
+            if key in unique:
+                continue
+            value = cache.lookup(action) if cache is not None else None
+            unique[key] = value
+            if value is None:
+                misses.append(action)
+        for action, value in zip(misses, self.pool.map(misses, fn="batch")):
+            value = float(value)
+            unique[mask_key(action)] = value
+            if cache is not None:
+                cache.insert(action, value)
         rec = get_recorder()
         rec.counter("reinforce/reward_evals", len(candidates))
         rec.counter("reinforce/unique_evals", len(unique))
@@ -230,8 +278,11 @@ class ReinforceDriver:
 
         if config.use_best_action and candidates:
             finalists = [action for _, action in candidates.values()]
-            final_rewards = [self.final_reward_fn(action)
-                             for action in finalists]
+            if self.pool is not None and "final" in self.pool.fns:
+                final_rewards = self.pool.map(finalists, fn="final")
+            else:
+                final_rewards = [self.final_reward_fn(action)
+                                 for action in finalists]
             chosen = finalists[int(np.argmax(final_rewards))]
             rec.counter("reinforce/finalist_evals", len(finalists))
         else:

@@ -92,6 +92,21 @@ def _pct_off(base: float, new: float) -> float:
     return abs(new - base) / scale * 100.0
 
 
+def _counter_totals(view: list[dict]) -> dict[str, float]:
+    """Per-name counter totals of a deterministic view.
+
+    The view has ``t``/``dur`` stripped, so it cannot go back through
+    :func:`~repro.obs.summary.summarize` (which needs span durations);
+    counters carry no wall-clock data, so totalling them here is exact.
+    """
+    totals: dict[str, float] = {}
+    for record in view:
+        if record.get("event") == "counter":
+            name = record["name"]
+            totals[name] = totals.get(name, 0) + record["value"]
+    return totals
+
+
 def diff_metrics_dirs(a: str | Path, b: str | Path,
                       wall_tolerance: float = 50.0,
                       min_seconds: float = 0.05,
@@ -124,10 +139,15 @@ def diff_metrics_dirs(a: str | Path, b: str | Path,
         result.differences.append(
             f"... and {mismatches - _MAX_DETAILS} more differing events")
 
+    # Counter totals are compared on the deterministic views so that
+    # operational counters (pool/* supervision bookkeeping, present only
+    # when a run was parallel or lost workers) never fail the gate;
+    # spans/ops below keep the full streams — wall time is their point.
     summary_a, summary_b = summarize(events_a), summarize(events_b)
-    for name in sorted(set(summary_a["counters"]) | set(summary_b["counters"])):
-        base = summary_a["counters"].get(name, 0)
-        new = summary_b["counters"].get(name, 0)
+    det_a, det_b = _counter_totals(view_a), _counter_totals(view_b)
+    for name in sorted(set(det_a) | set(det_b)):
+        base = det_a.get(name, 0)
+        new = det_b.get(name, 0)
         off = _pct_off(base, new)
         if off > counter_tolerance:
             result.regressions.append(

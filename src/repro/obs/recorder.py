@@ -20,6 +20,11 @@ the (seeded) computation, so two identically-seeded runs emit identical
 values.  Wall-clock fields are confined to the ``t``/``dur`` keys of
 span events plus any event flagged ``timing=True`` (e.g. throughput);
 :func:`repro.obs.schema.deterministic_view` strips exactly those.
+Events flagged ``operational=True`` (pool supervision: retries, worker
+deaths, timeouts) describe *how* a value was computed rather than the
+value itself — they too are excluded from determinism comparisons,
+since a parallel run retrying a killed worker must still diff clean
+against a serial run.
 """
 
 from __future__ import annotations
@@ -194,18 +199,29 @@ class Recorder:
                     "dur": duration, "ok": ok, "t": time.time()})
 
     # -- metrics ----------------------------------------------------------
-    def counter(self, name: str, value: float = 1, **attrs) -> None:
-        """Increment a monotonic counter by ``value``."""
+    def counter(self, name: str, value: float = 1,
+                operational: bool = False, **attrs) -> None:
+        """Increment a monotonic counter by ``value``.
+
+        ``operational=True`` marks the count as supervision bookkeeping
+        (pool retries, worker deaths) rather than computed behaviour,
+        excluding it from determinism comparisons.
+        """
         self.counters[name] = self.counters.get(name, 0) + value
         record = {"event": "counter", "name": name, "value": value}
+        if operational:
+            record["operational"] = True
         if attrs:
             record["attrs"] = attrs
         self._emit(record)
 
-    def gauge(self, name: str, value: float, **attrs) -> None:
+    def gauge(self, name: str, value: float,
+              operational: bool = False, **attrs) -> None:
         """Record the current value of a quantity (last write wins)."""
         self.gauges[name] = value
         record = {"event": "gauge", "name": name, "value": value}
+        if operational:
+            record["operational"] = True
         if attrs:
             record["attrs"] = attrs
         self._emit(record)
@@ -226,7 +242,7 @@ class Recorder:
             record["attrs"] = attrs
         self._emit(record)
 
-    def mark(self, name: str, **attrs) -> None:
+    def mark(self, name: str, operational: bool = False, **attrs) -> None:
         """Record a point-in-time annotation with no value attached.
 
         Marks flag notable run events (a degraded step, a rollback) so
@@ -235,6 +251,8 @@ class Recorder:
         """
         self.marks[name] = self.marks.get(name, 0) + 1
         record = {"event": "mark", "name": name, "t": time.time()}
+        if operational:
+            record["operational"] = True
         if attrs:
             record["attrs"] = attrs
         self._emit(record)

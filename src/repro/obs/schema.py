@@ -28,7 +28,12 @@ Wall-clock data lives only in ``t``/``dur`` and in events flagged
 ``timing: true``; :func:`deterministic_view` strips exactly those, so
 two identically-seeded runs compare equal on the stripped stream (an
 ``op`` event keeps its deterministic ``flops``/``bytes`` accounting but
-loses its timings).
+loses its timings).  Events may additionally carry ``operational: true``
+— supervision bookkeeping (pool task retries, worker deaths, timeouts)
+whose occurrence depends on scheduling and injected faults, not on what
+the run computed; the deterministic view drops those too, which is what
+lets a parallel run that lost and requeued a worker still diff clean
+against a serial run.
 """
 
 from __future__ import annotations
@@ -83,6 +88,9 @@ def validate_event(record) -> list[str]:
         problems.append(f"{kind}.attrs must be an object")
     if "timing" in record and not isinstance(record["timing"], bool):
         problems.append(f"{kind}.timing must be a boolean")
+    if "operational" in record \
+            and not isinstance(record["operational"], bool):
+        problems.append(f"{kind}.operational must be a boolean")
     if kind == "op":
         if record.get("phase") not in OP_PHASES:
             problems.append(
@@ -146,14 +154,16 @@ def validate_events(records, require_closed: bool = True) -> list[str]:
 
 
 def deterministic_view(records) -> list[dict]:
-    """The stream with all wall-clock-derived data removed.
+    """The stream with all wall-clock and scheduling-derived data removed.
 
-    Drops events flagged ``timing: true`` and strips the ``t``/``dur``
-    keys; what remains is identical across identically-seeded runs.
+    Drops events flagged ``timing: true`` or ``operational: true`` and
+    strips the ``t``/``dur`` keys; what remains is identical across
+    identically-seeded runs regardless of parallelism or injected
+    faults.
     """
     view = []
     for record in records:
-        if record.get("timing"):
+        if record.get("timing") or record.get("operational"):
             continue
         view.append({k: v for k, v in record.items()
                      if k not in ("t", "dur")})

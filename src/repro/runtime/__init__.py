@@ -6,8 +6,11 @@ helpers (:mod:`~repro.runtime.guards`), rollback/retry policy
 (:mod:`~repro.runtime.retry`), per-step watchdog budgets
 (:mod:`~repro.runtime.watchdog`), graceful degradation to metric
 baselines (:mod:`~repro.runtime.fallback`), post-surgery structural
-validation (:mod:`~repro.runtime.validate`) and deterministic fault
-injection for tests (:mod:`~repro.runtime.faults`).
+validation (:mod:`~repro.runtime.validate`), deterministic fault
+injection for tests (:mod:`~repro.runtime.faults`), a supervised
+process pool for parallel reward evaluation
+(:mod:`~repro.runtime.pool`) and a journaled job-queue daemon
+(:mod:`~repro.runtime.serve`).
 
 The harness, fallback and validate submodules are loaded lazily:
 low-level training code (``repro.core.reinforce``, ``repro.training``)
@@ -26,6 +29,7 @@ from .guards import (check_accuracy_collapse, require_all_finite,
                      require_finite)
 from .journal import (FORMAT_VERSION, RunJournal, config_digest,
                       run_overview)
+from .pool import EvalPool, PoolTaskError, SharedArrays, take_degradations
 from .retry import RetryPolicy
 from .watchdog import BudgetExceededError, StepBudget, StepWatchdog
 
@@ -37,14 +41,17 @@ __all__ = [
     "RunJournal", "config_digest", "FORMAT_VERSION", "run_overview",
     "RetryPolicy",
     "StepBudget", "StepWatchdog", "BudgetExceededError",
+    "EvalPool", "PoolTaskError", "SharedArrays", "take_degradations",
     "ResumableRunner", "RunReport", "resume",
     "FallbackChain",
+    "JobQueue", "ServeDaemon",
     "SurgeryInvariantError", "mask_problems", "model_problems",
     "check_masks", "check_model",
 ]
 
 _HARNESS_EXPORTS = ("ResumableRunner", "RunReport", "resume")
 _FALLBACK_EXPORTS = ("FallbackChain",)
+_SERVE_EXPORTS = ("JobQueue", "ServeDaemon")
 _VALIDATE_EXPORTS = ("SurgeryInvariantError", "mask_problems",
                      "model_problems", "check_masks", "check_model")
 
@@ -56,6 +63,9 @@ def __getattr__(name: str):
     if name in _FALLBACK_EXPORTS:
         from . import fallback
         return getattr(fallback, name)
+    if name in _SERVE_EXPORTS:
+        from . import serve
+        return getattr(serve, name)
     if name in _VALIDATE_EXPORTS:
         from . import validate
         return getattr(validate, name)

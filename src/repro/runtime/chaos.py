@@ -38,8 +38,14 @@ __all__ = ["ENGINE_KINDS", "run_chaos", "main"]
 #: Engine kinds the matrix covers: one per stepped-engine implementation,
 #: plus a fast-path column (``headstart-cached``) that reruns the HeadStart
 #: scenario with the reward eval-cache and compressed masked forward on —
-#: the kill/resume contract must hold identically on the fast path.
-ENGINE_KINDS = ("headstart", "headstart-cached", "block", "amc", "li17")
+#: the kill/resume contract must hold identically on the fast path — and a
+#: worker-kill column (``headstart-pool``) that runs the scenario with a
+#: 2-process evaluation pool whose workers are SIGKILLed on their first
+#: task in the killed *and* resumed phases: the pool must degrade to
+#: serial (journaled), and the degraded resume must still match the
+#: healthy parallel baseline bit-for-bit.
+ENGINE_KINDS = ("headstart", "headstart-cached", "headstart-pool",
+                "block", "amc", "li17")
 
 
 def _make_task(seed: int):
@@ -63,13 +69,16 @@ def _make_runner(kind: str, task, seed: int) -> ResumableRunner:
                         width_multiplier=0.25,
                         rng=np.random.default_rng(seed))
     # The plain column pins the slow path (no memoization) so the matrix
-    # keeps covering it; the -cached column turns on the whole fast path.
+    # keeps covering it; the -cached column turns on the whole fast path;
+    # the -pool column shards reward evaluations across worker processes.
     cached = kind == "headstart-cached"
+    pooled = kind == "headstart-pool"
     config = HeadStartConfig(speedup=2.0, max_iterations=6, min_iterations=3,
                              patience=3, eval_batch=16, seed=seed,
-                             mc_samples=2, eval_cache=cached,
-                             compressed_eval=cached)
-    if kind in ("headstart", "headstart-cached"):
+                             mc_samples=2, eval_cache=cached or pooled,
+                             compressed_eval=cached,
+                             workers=2 if pooled else 0)
+    if kind in ("headstart", "headstart-cached", "headstart-pool"):
         engine = HeadStartPruner(
             model, task.train, task.test, config=config,
             finetune_config=FinetuneConfig(epochs=1, batch_size=24, lr=0.02,
@@ -131,8 +140,17 @@ def run_chaos(kind: str, seed: int, root) -> list[str]:
     print(f"[chaos] engine={kind} steps={num_steps} "
           f"crash after step #{crash_step} (seed {seed})")
 
+    # The pool column additionally SIGKILLs every fresh worker on its
+    # first pooled task — in the killed AND resumed phases — so both
+    # phases run under pool exhaustion while the baseline ran healthy.
+    killed_plan = FaultPlan().crash_at("runtime.layer_complete", crash_step)
+    resumed_plan = FaultPlan()
+    if kind == "headstart-pool":
+        killed_plan.crash_at("pool.task", 1)
+        resumed_plan.crash_at("pool.task", 1)
+
     killed = _make_runner(kind, task, seed)
-    with inject(FaultPlan().crash_at("runtime.layer_complete", crash_step)):
+    with inject(killed_plan):
         try:
             killed.run(root / "chaos")
         except SimulatedCrash:
@@ -141,9 +159,18 @@ def run_chaos(kind: str, seed: int, root) -> list[str]:
             return [f"crash at step {crash_step} did not fire"]
 
     resumed = _make_runner(kind, task, seed)
-    resumed_report = resumed.run(root / "chaos", resume=True)
+    with inject(resumed_plan):
+        resumed_report = resumed.run(root / "chaos", resume=True)
 
     problems = []
+    if kind == "headstart-pool":
+        degraded = [record for record
+                    in RunJournal(root / "chaos" / "journal.jsonl").read()
+                    if record.get("record") == "degraded"
+                    and record.get("engine") == "pool-serial"]
+        if not degraded:
+            problems.append("worker kills journaled no pool-serial "
+                            "degraded records")
     if resumed_report.resumed_layers != crash_step:
         problems.append(f"expected {crash_step} replayed step(s), got "
                         f"{resumed_report.resumed_layers}")

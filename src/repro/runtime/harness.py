@@ -46,6 +46,7 @@ from .errors import DivergenceError, JournalError, ResumeMismatchError
 from .fallback import FallbackChain
 from .guards import check_accuracy_collapse
 from .journal import FORMAT_VERSION, RunJournal, config_digest
+from .pool import take_degradations
 from .retry import RetryPolicy
 from .validate import check_masks, check_model
 from .watchdog import StepBudget
@@ -308,6 +309,10 @@ class ResumableRunner:
                             "fingerprint": self.engine.fingerprint()})
             start = 0
 
+        # Discard pool degradations a previous run in this process left
+        # behind; from here on the queue belongs to the steps below.
+        take_degradations()
+
         for index in range(start, len(specs)):
             spec = specs[index]
             name = spec.name
@@ -341,6 +346,19 @@ class ResumableRunner:
                     and spec.fallback_targets:
                 outcome, used_engine = self._degrade(
                     journal, spec, backup, pre_accuracy, failures, payloads)
+            # Pool-level degradation (worker deaths, retry exhaustion →
+            # serial evaluation) is value-neutral, so the step itself
+            # succeeded; journal it like an engine fallback so the run's
+            # history shows the reduced parallelism.  Resume stays exact:
+            # re-running the step recomputes identical values whether or
+            # not the pool degrades again.
+            for degradation in take_degradations():
+                journal.append({"record": "degraded", "index": index,
+                                "name": name, "engine": "pool-serial",
+                                **degradation})
+                get_recorder().counter("runtime/pool_degraded", 1,
+                                       operational=True, layer=name,
+                                       reason=degradation.get("reason"))
             if outcome is None:
                 journal.append({"record": "layer_skipped", "index": index,
                                 "name": name, "failures": failures})

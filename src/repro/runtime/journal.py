@@ -11,6 +11,13 @@ a final ``run_complete`` record.
 Records are flushed and fsync'd as they are appended, so a crash loses
 at most the line being written; :meth:`RunJournal.read` tolerates a
 truncated final line (the layer it described simply re-runs on resume).
+
+Appends are safe across processes: each append holds an advisory
+``fcntl`` lock on the journal for the torn-tail repair *and* the write,
+so a serve daemon and a pool worker (or two daemons sharing a queue)
+can never interleave half-written records or race the repair against
+another writer's append.  Single-writer behaviour is byte-identical —
+the lock adds no bytes and the write path is unchanged.
 """
 
 from __future__ import annotations
@@ -20,6 +27,11 @@ import json
 import os
 from pathlib import Path
 from typing import Any, Iterable
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback, lock elided
+    fcntl = None
 
 from ..obs.sink import jsonable as _jsonable
 from ..obs.sink import repair_torn_tail
@@ -68,17 +80,32 @@ class RunJournal:
         repair_torn_tail(self.path, fsync=True)
 
     def append(self, record: dict) -> dict:
-        """Durably append one record (adds the ``record`` key's siblings)."""
+        """Durably append one record (adds the ``record`` key's siblings).
+
+        The advisory lock covers both the torn-tail repair and the
+        write: without it, writer B could append between writer A's
+        repair and A's write, and A's O_APPEND write would then land
+        after B's record — fine — but B's *repair* racing A's in-flight
+        write could truncate A's half-flushed line.  The handle is
+        opened in append mode first (creating the file), locked, and
+        only then repaired, so the repair always sees a quiescent file.
+        """
         if "record" not in record:
             raise ValueError("journal records need a 'record' type key")
         line = json.dumps(_jsonable(record), sort_keys=True,
                           separators=(",", ":"))
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._repair_torn_tail()
         with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                self._repair_torn_tail()
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
         return record
 
     # -- reading -----------------------------------------------------------

@@ -1,0 +1,600 @@
+"""Supervised process-pool evaluation of reward functions.
+
+HeadStart's REINFORCE search spends nearly all wall-clock in candidate
+reward evaluations that are pure and embarrassingly parallel: the model
+is restored after every masked forward, so scoring ``k`` Monte-Carlo
+samples is ``k`` independent calls of the same deterministic function.
+:class:`EvalPool` fans those calls out to forked worker processes while
+preserving every guarantee the serial runtime already makes:
+
+* **Determinism.**  Results are merged by *submission index*, never by
+  completion order, and the reward functions are pure, so a parallel
+  run's rewards — and therefore its policy updates, RNG stream, journal
+  payloads and final weights — are bit-for-bit identical to a serial
+  run at the same seed.  Which worker computed a value, how often it
+  was retried, and whether the pool degraded to serial are all
+  invisible to the result.
+* **Supervision.**  Workers send a ``start`` heartbeat per task; a
+  worker that does not answer within ``task_seconds`` is SIGKILLed and
+  its task requeued on a fresh worker with seeded-deterministic
+  backoff.  A worker that dies outright (SIGKILL, OOM — modelled by a
+  ``crash`` fault at the ``pool.task`` site, which exits the worker
+  via ``os._exit``) is detected through its process sentinel and
+  replaced the same way.  Attempts per task are bounded by
+  ``task_retries``; total worker deaths by ``max_worker_deaths``.
+* **Graceful degradation.**  A task out of attempts — or the whole
+  pool once its death budget is exhausted — falls back to in-process
+  serial evaluation, which computes identical values.  Degradations
+  are queued for the harness (:func:`take_degradations`) so they land
+  in the run journal as ``degraded`` records, mirroring what
+  ``runtime.fallback`` journals for engine-level degradation.
+* **Budgets.**  Workers inherit the armed
+  :class:`~repro.runtime.watchdog.StepWatchdog` at fork and tick it at
+  the ``pool.task`` fault site; per-task ``(evals, stalled)`` deltas
+  ride back on each result and are merged into the parent watchdog via
+  :func:`repro.runtime.watchdog.consume`, so a ``StepBudget`` bounds
+  the whole process tree and virtual-clock ``stall_at`` fault specs
+  work cross-process.
+* **Observability.**  Supervision counters (``pool/tasks``,
+  ``pool/retries``, ``pool/worker_deaths``, ``pool/timeouts``,
+  ``pool/serial_tasks``, ``pool/degraded``) are emitted with the
+  ``operational`` flag, excluding them from determinism comparisons —
+  a run that lost a worker still diffs clean against one that did not.
+
+Workers require the ``fork`` start method: reward functions are
+closures over live model objects and are never pickled.  Workers
+install a null recorder first thing and only ever leave through
+``os._exit``, so fork-inherited metrics/journal buffers are never
+flushed twice.  Calibration arrays can be moved into POSIX shared
+memory with :class:`SharedArrays` so worker page tables reference one
+copy of the data.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from multiprocessing import connection, get_context
+
+import numpy as np
+
+from ..obs import get_recorder, set_recorder
+from . import faults, watchdog
+from .errors import DivergenceError
+
+try:
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - always present on CPython 3.8+
+    shared_memory = None
+
+__all__ = ["EvalPool", "PoolTaskError", "SharedArrays", "take_degradations"]
+
+
+# -- degradation hand-off to the harness ------------------------------------
+#: Pool degradation events waiting to be journaled.  The pool runs deep
+#: inside an engine step with no handle on the run journal; the harness
+#: drains this queue after each step and writes ``degraded`` records.
+_DEGRADATIONS: list[dict] = []
+
+
+def take_degradations() -> list[dict]:
+    """Drain and return pool degradation events recorded since last call."""
+    drained = list(_DEGRADATIONS)
+    _DEGRADATIONS.clear()
+    return drained
+
+
+class PoolTaskError(DivergenceError):
+    """A worker reported a divergence; re-raised in the parent.
+
+    Reconstructed from the worker-side error's journal record and
+    :meth:`as_record` returns that record verbatim (original ``kind``
+    included), so the harness journals exactly what a serial run
+    hitting the same divergence would have journaled.
+    """
+
+    def __init__(self, record: dict):
+        self.record = dict(record)
+        super().__init__(record.get("stage", "pool.task"),
+                         value=record.get("value"),
+                         layer=record.get("layer"),
+                         iteration=record.get("iteration"),
+                         detail=record.get("detail", ""))
+
+    def as_record(self) -> dict:
+        return dict(self.record)
+
+
+# -- shared-memory calibration data -----------------------------------------
+class SharedArrays:
+    """Named ndarrays copied into POSIX shared memory for pool workers.
+
+    Construct *before* the pool so forked workers inherit the mappings;
+    read arrays back by name and substitute them for the originals.
+    Falls back to plain in-process copies when ``multiprocessing.
+    shared_memory`` is unavailable — forked workers then share the
+    pages copy-on-write, which is correct, just less explicit.
+
+    The parent owns the segments: call :meth:`close` (after dropping
+    every outstanding view) to release and unlink them.
+    """
+
+    def __init__(self, **arrays: np.ndarray):
+        self._blocks: list = []
+        self.arrays: dict[str, np.ndarray] = {}
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            if shared_memory is None:
+                self.arrays[name] = array.copy()
+                continue
+            block = shared_memory.SharedMemory(
+                create=True, size=max(1, array.nbytes))
+            view = np.ndarray(array.shape, dtype=array.dtype,
+                              buffer=block.buf)
+            view[...] = array
+            self._blocks.append(block)
+            self.arrays[name] = view
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    def close(self) -> None:
+        self.arrays.clear()
+        for block in self._blocks:
+            try:
+                block.close()
+            except BufferError:
+                # A view outlived us; the segment still gets unlinked
+                # below and dies with the last mapping.
+                pass
+            try:
+                block.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+        self._blocks.clear()
+
+    def __enter__(self) -> "SharedArrays":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- worker process ----------------------------------------------------------
+def _worker_main(conn, fns, cache_size: int, worker_cache: bool) -> None:
+    """Worker loop: evaluate tasks from ``conn`` until told to stop.
+
+    Runs in a forked child.  Every exit path goes through ``os._exit``
+    so fork-inherited file buffers (metrics sink, journal) are never
+    flushed from the child; the recorder is nulled first thing for the
+    same reason.  A ``crash`` fault at ``pool.task`` exits with status
+    137 — indistinguishable from a SIGKILL/OOM kill to the parent,
+    which is the point.
+    """
+    set_recorder(None)
+    from ..core.evalcache import EvalCache
+    if worker_cache:
+        evals = {name: EvalCache(fn, maxsize=cache_size, emit=False)
+                 for name, fn in fns.items()}
+    else:
+        evals = dict(fns)
+    code = 0
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                break
+            _, task_id, fn_name, action = message
+            conn.send(("start", task_id))
+            before_evals, before_stall = watchdog.usage()
+            try:
+                faults.crash_point("pool.task")
+                value = float(evals[fn_name](action))
+            except faults.SimulatedCrash:
+                code = 137
+                break
+            except DivergenceError as err:
+                after_evals, after_stall = watchdog.usage()
+                conn.send(("err", task_id, err.as_record(),
+                           (after_evals - before_evals,
+                            after_stall - before_stall)))
+                continue
+            after_evals, after_stall = watchdog.usage()
+            stats = None
+            if worker_cache:
+                stats = {name: cache.stats()
+                         for name, cache in evals.items()}
+            conn.send(("ok", task_id, value,
+                       (after_evals - before_evals,
+                        after_stall - before_stall), stats))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    except BaseException:
+        code = 1
+    finally:
+        os._exit(code)
+
+
+class _Worker:
+    """Parent-side handle on one worker process."""
+
+    __slots__ = ("uid", "process", "conn", "task")
+
+    def __init__(self, uid: int, process, conn):
+        self.uid = uid
+        self.process = process
+        self.conn = conn
+        #: In-flight task dict ({id, index, attempt, deadline}) or None.
+        self.task: dict | None = None
+
+
+# -- the pool ----------------------------------------------------------------
+class EvalPool:
+    """Fault-tolerant process pool over a set of named reward functions.
+
+    Parameters
+    ----------
+    fns:
+        ``{name: callable}`` — the pure functions workers may be asked
+        to evaluate (e.g. ``{"batch": reward_fn, "final": final_fn}``).
+        Closures are fine; workers are forked, nothing is pickled.
+    workers:
+        Worker process count; must be >= 1 (callers handle 0 by not
+        constructing a pool).
+    task_seconds:
+        Per-task wall-clock deadline, re-armed on the worker's
+        ``start`` heartbeat; ``None`` disables timeout supervision.
+    task_retries:
+        Attempts allowed per task *beyond* the first before that task
+        degrades to in-process serial evaluation.
+    max_worker_deaths:
+        Total crashes/timeouts tolerated before the whole pool is
+        declared exhausted and everything left runs serially; defaults
+        to ``2 * workers`` (minimum 2).
+    retry_backoff:
+        Base of the seeded-deterministic exponential backoff slept
+        before a retried task is resent.
+    seed:
+        Seeds the backoff jitter stream (operational only — values and
+        merge order never depend on it).
+    scope:
+        Attribute attached to every emitted ``pool/*`` counter, so
+        per-layer pools are distinguishable in a metrics stream.
+    cache_size / worker_cache:
+        Per-worker :class:`~repro.core.evalcache.EvalCache` settings.
+        Worker caches are private (no shared mutable state), never emit
+        to the parent's sink, and report cumulative hit/miss stats with
+        each result; the parent merges them at :meth:`close` under
+        ``evalcache/worker_*`` operational counters.
+    """
+
+    def __init__(self, fns: dict, *, workers: int,
+                 task_seconds: float | None = None, task_retries: int = 2,
+                 max_worker_deaths: int | None = None,
+                 retry_backoff: float = 0.01, seed: int = 0,
+                 scope: str = "", cache_size: int = 256,
+                 worker_cache: bool = True):
+        if workers < 1:
+            raise ValueError("EvalPool needs at least one worker")
+        self.fns = dict(fns)
+        self.workers = int(workers)
+        self.task_seconds = task_seconds
+        self.task_retries = int(task_retries)
+        if max_worker_deaths is None:
+            max_worker_deaths = max(2, 2 * self.workers)
+        self.max_worker_deaths = int(max_worker_deaths)
+        self.retry_backoff = float(retry_backoff)
+        self.scope = scope
+        self.cache_size = int(cache_size)
+        self.worker_cache = bool(worker_cache)
+        self.alive = True
+        self.worker_stats: dict[int, dict] = {}
+        self.counts = {"tasks": 0, "serial_tasks": 0, "retries": 0,
+                       "worker_deaths": 0, "timeouts": 0}
+        self._ctx = get_context("fork")
+        self._workers: list[_Worker] = []
+        self._uid = 0
+        self._deaths = 0
+        self._task_seq = 0
+        self._rng = np.random.default_rng(seed)
+        self._stats_emitted = False
+        for _ in range(self.workers):
+            self._spawn()
+        if not self._workers:
+            self.alive = False
+            self._record_degradation("spawn_failed", tasks=0)
+
+    # -- worker lifecycle ---------------------------------------------------
+    def _spawn(self) -> _Worker | None:
+        try:
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, self.fns, self.cache_size,
+                      self.worker_cache),
+                daemon=True, name=f"repro-pool-{self._uid}")
+            process.start()
+            child_conn.close()
+        except (OSError, ValueError):
+            return None
+        worker = _Worker(self._uid, process, parent_conn)
+        self._uid += 1
+        self._workers.append(worker)
+        return worker
+
+    def _discard(self, worker: _Worker) -> None:
+        """Remove a worker, killing its process if still running."""
+        if worker in self._workers:
+            self._workers.remove(worker)
+        try:
+            if worker.process.is_alive():
+                worker.process.kill()
+            worker.process.join(timeout=5)
+        except (OSError, ValueError):
+            pass
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    def _worker_died(self, worker: _Worker, inflight: dict, pending: deque,
+                     rec) -> None:
+        """Account one crash/timeout: requeue its task, respawn or fail."""
+        task = worker.task
+        worker.task = None
+        self._discard(worker)
+        self._deaths += 1
+        self.counts["worker_deaths"] += 1
+        rec.counter("pool/worker_deaths", 1, operational=True,
+                    scope=self.scope)
+        if task is not None:
+            inflight.pop(task["id"], None)
+            pending.append((task["index"], task["attempt"] + 1))
+        if self._deaths > self.max_worker_deaths:
+            self._fail_pool(inflight, pending, rec, reason="worker_deaths")
+        elif self.alive:
+            self._spawn()
+
+    def _fail_pool(self, inflight: dict, pending: deque, rec,
+                   reason: str) -> None:
+        """Declare the pool exhausted; everything left degrades to serial."""
+        if not self.alive:
+            return
+        self.alive = False
+        for worker in list(self._workers):
+            task = worker.task
+            worker.task = None
+            if task is not None:
+                inflight.pop(task["id"], None)
+                pending.append((task["index"], task["attempt"]))
+            self._discard(worker)
+        self._record_degradation(reason, tasks=len(pending))
+        rec.counter("pool/degraded", 1, operational=True, scope=self.scope)
+        rec.mark("pool/exhausted", operational=True, scope=self.scope,
+                 reason=reason)
+
+    def _record_degradation(self, reason: str, tasks: int,
+                            fn: str | None = None) -> None:
+        record = {"scope": "pool", "reason": reason, "tasks": int(tasks),
+                  "worker_deaths": self._deaths}
+        if self.scope:
+            record["pool"] = self.scope
+        if fn:
+            record["fn"] = fn
+        _DEGRADATIONS.append(record)
+
+    def _backoff(self, attempt: int) -> float:
+        """Seeded-deterministic exponential backoff before a retry send."""
+        if self.retry_backoff <= 0:
+            return 0.0
+        return (self.retry_backoff * (2 ** (attempt - 2))
+                * (1.0 + float(self._rng.random())))
+
+    # -- evaluation ---------------------------------------------------------
+    def map(self, actions, fn: str = "batch") -> list[float]:
+        """Evaluate ``fns[fn]`` over ``actions``, merged by submission index.
+
+        The returned list is ordered like ``actions`` regardless of
+        completion order, retries, or degradation — the deterministic
+        merge the whole design rests on.  Worker-side divergences
+        re-raise here as :class:`PoolTaskError`; budget overruns
+        (worker ticks merged into the parent watchdog) raise
+        :class:`~repro.runtime.watchdog.BudgetExceededError` exactly as
+        serial evaluation would.
+        """
+        if fn not in self.fns:
+            raise KeyError(f"unknown pool function {fn!r}")
+        results: list = [None] * len(actions)
+        if not len(actions):
+            return results
+        rec = get_recorder()
+        remaining = len(actions)
+        pending: deque = deque((i, 1) for i in range(len(actions)))
+        inflight: dict[int, dict] = {}
+        # Clear assignments a previously abandoned map() left behind;
+        # late replies for those ids are dropped by the inflight check.
+        for worker in self._workers:
+            worker.task = None
+
+        def run_serial(index: int) -> None:
+            nonlocal remaining
+            results[index] = float(self.fns[fn](np.asarray(actions[index])))
+            remaining -= 1
+            self.counts["serial_tasks"] += 1
+            rec.counter("pool/serial_tasks", 1, operational=True,
+                        scope=self.scope)
+            watchdog.consume(1, 0.0, site="pool.serial")
+
+        while remaining:
+            if not self.alive or not self._workers:
+                self._fail_pool(inflight, pending, rec, reason="no_workers")
+                for index in sorted(index for index, _ in pending):
+                    run_serial(index)
+                pending.clear()
+                continue
+
+            # Hand tasks to idle workers (tasks out of attempts degrade).
+            idle = [w for w in self._workers if w.task is None]
+            while pending and idle:
+                index, attempt = pending.popleft()
+                if attempt > self.task_retries + 1:
+                    self._record_degradation("retries_exhausted", tasks=1,
+                                             fn=fn)
+                    rec.counter("pool/degraded", 1, operational=True,
+                                scope=self.scope)
+                    run_serial(index)
+                    continue
+                if attempt > 1:
+                    self.counts["retries"] += 1
+                    rec.counter("pool/retries", 1, operational=True,
+                                scope=self.scope)
+                    backoff = self._backoff(attempt)
+                    if backoff:
+                        time.sleep(backoff)
+                worker = idle.pop()
+                self._task_seq += 1
+                task = {"id": self._task_seq, "index": index,
+                        "attempt": attempt,
+                        "deadline": (time.monotonic() + self.task_seconds
+                                     if self.task_seconds is not None
+                                     else None)}
+                try:
+                    worker.conn.send(("task", task["id"], fn,
+                                      np.asarray(actions[index])))
+                except OSError:
+                    pending.appendleft((index, attempt))
+                    self._worker_died(worker, inflight, pending, rec)
+                    break
+                worker.task = task
+                inflight[task["id"]] = task
+
+            if not inflight:
+                continue
+            conns = {w.conn: w for w in self._workers}
+            sentinels = {w.process.sentinel: w for w in self._workers}
+            ready = connection.wait(list(conns) + list(sentinels),
+                                    self._poll_timeout())
+            dead: list[_Worker] = []
+            for handle in ready:
+                worker = conns.get(handle)
+                if worker is None:
+                    worker = sentinels[handle]
+                    if worker not in dead:
+                        dead.append(worker)
+                    continue
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    if worker not in dead:
+                        dead.append(worker)
+                    continue
+                kind = message[0]
+                if kind == "start":
+                    task = worker.task
+                    if (task is not None and task["id"] == message[1]
+                            and self.task_seconds is not None):
+                        task["deadline"] = (time.monotonic()
+                                            + self.task_seconds)
+                elif kind == "ok":
+                    _, task_id, value, usage, stats = message
+                    if stats is not None:
+                        self.worker_stats[worker.uid] = stats
+                    if worker.task is not None \
+                            and worker.task["id"] == task_id:
+                        worker.task = None
+                    entry = inflight.pop(task_id, None)
+                    if entry is None:
+                        continue
+                    results[entry["index"]] = float(value)
+                    remaining -= 1
+                    self.counts["tasks"] += 1
+                    rec.counter("pool/tasks", 1, operational=True,
+                                scope=self.scope)
+                    watchdog.consume(int(usage[0]), float(usage[1]),
+                                     site="pool.task")
+                elif kind == "err":
+                    _, task_id, record, _usage = message
+                    if worker.task is not None \
+                            and worker.task["id"] == task_id:
+                        worker.task = None
+                    inflight.pop(task_id, None)
+                    raise PoolTaskError(record)
+            for worker in dead:
+                if worker in self._workers:
+                    self._worker_died(worker, inflight, pending, rec)
+            if self.task_seconds is not None:
+                now = time.monotonic()
+                for worker in list(self._workers):
+                    task = worker.task
+                    if (task is not None and task["deadline"] is not None
+                            and now > task["deadline"]):
+                        self.counts["timeouts"] += 1
+                        rec.counter("pool/timeouts", 1, operational=True,
+                                    scope=self.scope)
+                        self._worker_died(worker, inflight, pending, rec)
+        return results
+
+    def _poll_timeout(self) -> float | None:
+        """Wait timeout: just past the earliest armed deadline, or block."""
+        if self.task_seconds is None:
+            return None
+        now = time.monotonic()
+        deadlines = [w.task["deadline"] for w in self._workers
+                     if w.task is not None and w.task["deadline"] is not None]
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - now) + 0.01
+
+    # -- cache accounting ---------------------------------------------------
+    def cache_summary(self) -> dict:
+        """Aggregate hit/miss/eviction totals across every worker cache."""
+        total = {"hits": 0, "misses": 0, "evictions": 0, "requests": 0}
+        for uid in sorted(self.worker_stats):
+            for stats in self.worker_stats[uid].values():
+                total["hits"] += stats["hits"]
+                total["misses"] += stats["misses"]
+                total["evictions"] += stats["evictions"]
+        total["requests"] = total["hits"] + total["misses"]
+        return total
+
+    def _emit_worker_stats(self) -> None:
+        """Merge worker cache counters into the parent recorder, once.
+
+        Iteration is sorted by worker uid then function name, so the
+        emission order is deterministic; the counters are operational
+        (which worker served which hit depends on scheduling).
+        """
+        if self._stats_emitted or not self.worker_stats:
+            return
+        self._stats_emitted = True
+        rec = get_recorder()
+        for uid in sorted(self.worker_stats):
+            for fn_name in sorted(self.worker_stats[uid]):
+                stats = self.worker_stats[uid][fn_name]
+                for key in ("hits", "misses", "evictions"):
+                    if stats.get(key):
+                        rec.counter(f"evalcache/worker_{key}", stats[key],
+                                    operational=True, scope=self.scope,
+                                    worker=uid, fn=fn_name)
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker, merge worker cache stats, mark the pool dead."""
+        for worker in list(self._workers):
+            try:
+                worker.conn.send(("stop",))
+            except OSError:
+                pass
+        for worker in list(self._workers):
+            worker.process.join(timeout=2)
+            self._discard(worker)
+        self._workers.clear()
+        self.alive = False
+        self._emit_worker_stats()
+
+    def __enter__(self) -> "EvalPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

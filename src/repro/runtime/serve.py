@@ -1,0 +1,372 @@
+"""File-backed job queue + daemon: ``repro serve``.
+
+Multi-tenant front end over the fault-tolerant runtime: pruning jobs
+are JSON spec files in a queue directory, a daemon claims them one at a
+time, runs each under :class:`~repro.runtime.harness.ResumableRunner`
+in its own run directory, and journals queue transitions to
+``serve.jsonl`` (a :class:`~repro.runtime.journal.RunJournal`, so queue
+history gets the same torn-tail repair and cross-process append lock
+as run journals).
+
+Layout under the queue root::
+
+    pending/job-0001.json     submitted specs, claimed in id order
+    active/job-0002.json      claimed by a daemon (atomic rename)
+    done/…  failed/…          terminal states
+    runs/job-0002/            per-job run dir: journal.jsonl,
+                              checkpoints, metrics.jsonl
+    serve.jsonl               queue-transition journal
+
+Recovery is the run journal itself: a job's progress lives in
+``runs/<id>/journal.jsonl``, so a daemon killed mid-job leaves the spec
+in ``active/``; the next daemon start moves it back to ``pending``
+(:meth:`JobQueue.recover`), re-claims it, and
+``ResumableRunner.run(..., resume=True)`` continues from the first
+incomplete step — bit-for-bit identical to a never-interrupted run, by
+the harness's resume contract.  No separate daemon state exists to
+corrupt.
+
+Job specs are flat JSON objects; every field is optional (see
+``SPEC_DEFAULTS``).  ``engine`` picks the stepped engine kind
+(``headstart``, ``block``, ``amc``, or a metric kind like ``li17``);
+``workers``/``task_seconds``/``task_retries`` thread through to the
+evaluation pool (:mod:`repro.runtime.pool`), so a daemon shards each
+job's reward evaluations across worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..obs import Recorder, get_recorder, use_recorder
+from .faults import SimulatedCrash
+from .journal import RunJournal
+
+__all__ = ["SPEC_DEFAULTS", "JobQueue", "ServeDaemon", "build_job_runner"]
+
+#: Every legal job-spec field with its default.  Unknown fields fail the
+#: job at claim time (a typo silently ignored would prune the wrong
+#: thing), journaled like any other job failure.
+SPEC_DEFAULTS: dict = {
+    "engine": "headstart",      # headstart | block | amc | <metric kind>
+    "model": "lenet",           # any repro.models.build_model name
+    "seed": 0,
+    "classes": 4,
+    "image_size": 12,
+    "train_per_class": 6,
+    "test_per_class": 3,
+    "noise": 0.35,
+    "epochs": 0,                # pre-training epochs (0 = random init)
+    "speedup": 2.0,
+    "mc_samples": 2,
+    "max_iterations": 6,
+    "min_iterations": 3,
+    "patience": 3,
+    "eval_batch": 16,
+    "finetune_epochs": 1,
+    "workers": 0,
+    "task_seconds": None,
+    "task_retries": 2,
+    "collapse_ratio": None,     # None -> engine-appropriate default
+}
+
+_STATES = ("pending", "active", "done", "failed")
+
+
+def _resolve_spec(spec: dict) -> dict:
+    unknown = sorted(set(spec) - set(SPEC_DEFAULTS))
+    if unknown:
+        raise ValueError(f"unknown job spec field(s): {', '.join(unknown)}")
+    resolved = dict(SPEC_DEFAULTS)
+    resolved.update(spec)
+    return resolved
+
+
+def build_job_runner(spec: dict, workers: int | None = None):
+    """A fresh :class:`ResumableRunner` for a resolved job spec.
+
+    Deterministic end to end: the dataset, model init and optional
+    pre-training all seed from the spec, so re-building the runner for
+    a resumed job reproduces the exact inputs the journal digest pinned.
+    ``workers`` overrides the spec's pool width (daemon-level knob);
+    pool settings are PERF_FIELDS, so the override cannot invalidate an
+    existing journal.
+    """
+    from ..core import (AMCConfig, AMCLitePruner, BlockHeadStart,
+                        FinetuneConfig, HeadStartConfig, HeadStartPruner)
+    from ..data import make_cifar100_like
+    from ..models import build_model
+    from ..pruning import build_engine
+    from ..training import TrainConfig, fit
+    from .harness import ResumableRunner
+
+    spec = _resolve_spec(spec)
+    if workers is not None:
+        spec["workers"] = int(workers)
+    seed = int(spec["seed"])
+    task = make_cifar100_like(num_classes=spec["classes"],
+                              image_size=spec["image_size"],
+                              train_per_class=spec["train_per_class"],
+                              test_per_class=spec["test_per_class"],
+                              noise=spec["noise"], seed=seed)
+    model = build_model(spec["model"], num_classes=spec["classes"],
+                        input_size=spec["image_size"],
+                        width_multiplier=0.25,
+                        rng=np.random.default_rng(seed))
+    if spec["epochs"]:
+        fit(model, task.train, None,
+            TrainConfig(epochs=int(spec["epochs"]), batch_size=24,
+                        lr=0.05, seed=seed))
+    kind = spec["engine"]
+    pool_kwargs = dict(workers=int(spec["workers"]),
+                       task_seconds=spec["task_seconds"],
+                       task_retries=int(spec["task_retries"]))
+    config = HeadStartConfig(speedup=spec["speedup"],
+                             mc_samples=spec["mc_samples"],
+                             max_iterations=spec["max_iterations"],
+                             min_iterations=spec["min_iterations"],
+                             patience=spec["patience"],
+                             eval_batch=spec["eval_batch"],
+                             seed=seed, **pool_kwargs)
+    if kind == "headstart":
+        engine = HeadStartPruner(
+            model, task.train, task.test, config=config,
+            finetune_config=FinetuneConfig(epochs=spec["finetune_epochs"],
+                                           batch_size=24, lr=0.02,
+                                           seed=seed),
+            skip_last=False)
+        collapse = spec["collapse_ratio"]
+        return ResumableRunner(engine=engine) if collapse is None \
+            else ResumableRunner(engine=engine, collapse_ratio=collapse)
+    if kind == "block":
+        engine = BlockHeadStart(model, task.train.images, task.train.labels,
+                                config)
+    elif kind == "amc":
+        engine = AMCLitePruner(model, task.train.images, task.train.labels,
+                               AMCConfig(speedup=spec["speedup"],
+                                         episodes=8,
+                                         eval_batch=spec["eval_batch"],
+                                         seed=seed),
+                               skip_last=False)
+    else:
+        engine = build_engine(kind, model,
+                              (task.train.images, task.train.labels),
+                              speedup=spec["speedup"],
+                              eval_batch=spec["eval_batch"], seed=seed,
+                              skip_last=False)
+    collapse = spec["collapse_ratio"]
+    return ResumableRunner(engine=engine,
+                           collapse_ratio=0.0 if collapse is None
+                           else collapse)
+
+
+class JobQueue:
+    """Directory-backed job states with atomic-rename transitions.
+
+    Rename within one filesystem is atomic, so two daemons polling the
+    same queue cannot both claim a job: exactly one rename from
+    ``pending/`` to ``active/`` succeeds, the loser moves on.  Specs
+    are written via temp-file + ``os.replace`` so a submitter crash
+    never leaves a half-written spec claimable.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        for sub in (*_STATES, "runs"):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+        self.journal = RunJournal(self.root / "serve.jsonl")
+
+    # -- paths --------------------------------------------------------------
+    def _state_dir(self, state: str) -> Path:
+        return self.root / state
+
+    def job_dir(self, job_id: str) -> Path:
+        """The per-job run directory (journal, checkpoints, metrics)."""
+        return self.root / "runs" / job_id
+
+    def _jobs(self, state: str) -> list[str]:
+        return sorted(path.stem for path in
+                      self._state_dir(state).glob("job-*.json"))
+
+    # -- submission ---------------------------------------------------------
+    def _next_id(self) -> str:
+        highest = 0
+        for state in _STATES:
+            for job_id in self._jobs(state):
+                try:
+                    highest = max(highest, int(job_id.split("-")[1]))
+                except (IndexError, ValueError):
+                    continue
+        return f"job-{highest + 1:04d}"
+
+    def submit(self, spec: dict) -> str:
+        """Validate and enqueue one job spec; returns its id."""
+        spec = _resolve_spec(spec)
+        job_id = self._next_id()
+        target = self._state_dir("pending") / f"{job_id}.json"
+        scratch = target.with_suffix(".tmp")
+        with open(scratch, "w", encoding="utf-8") as handle:
+            json.dump(spec, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, target)
+        self.journal.append({"record": "job_submitted", "job": job_id,
+                             "spec": spec})
+        return job_id
+
+    # -- lifecycle ----------------------------------------------------------
+    def claim(self) -> tuple[str, dict] | None:
+        """Atomically claim the lowest-id pending job, or ``None``."""
+        for job_id in self._jobs("pending"):
+            source = self._state_dir("pending") / f"{job_id}.json"
+            target = self._state_dir("active") / f"{job_id}.json"
+            try:
+                source.rename(target)
+            except FileNotFoundError:
+                continue  # another daemon won the race; try the next
+            with open(target, "r", encoding="utf-8") as handle:
+                spec = json.load(handle)
+            self.journal.append({"record": "job_claimed", "job": job_id})
+            return job_id, spec
+        return None
+
+    def _settle(self, job_id: str, state: str) -> None:
+        source = self._state_dir("active") / f"{job_id}.json"
+        source.rename(self._state_dir(state) / f"{job_id}.json")
+
+    def finish(self, job_id: str, result: dict | None = None) -> None:
+        self._settle(job_id, "done")
+        self.journal.append({"record": "job_complete", "job": job_id,
+                             "result": result or {}})
+
+    def fail(self, job_id: str, error: Exception) -> None:
+        self._settle(job_id, "failed")
+        self.journal.append({"record": "job_failed", "job": job_id,
+                             "kind": type(error).__name__,
+                             "message": str(error)})
+
+    def recover(self) -> list[str]:
+        """Requeue jobs a dead daemon left in ``active/`` (startup step).
+
+        The job's run journal already holds its completed steps, so the
+        re-claimed job resumes rather than restarts.
+        """
+        recovered = []
+        for job_id in self._jobs("active"):
+            source = self._state_dir("active") / f"{job_id}.json"
+            try:
+                source.rename(self._state_dir("pending") / f"{job_id}.json")
+            except FileNotFoundError:
+                continue
+            self.journal.append({"record": "job_recovered", "job": job_id})
+            recovered.append(job_id)
+        return recovered
+
+    # -- introspection ------------------------------------------------------
+    def _progress(self, job_id: str) -> dict:
+        journal = RunJournal(self.job_dir(job_id) / "journal.jsonl")
+        if not journal.exists():
+            return {"steps_done": 0, "complete": False}
+        complete = False
+        steps = 0
+        degraded = 0
+        for record in journal.read():
+            kind = record.get("record")
+            if kind == "layer_complete":
+                steps += 1
+            elif kind == "degraded":
+                degraded += 1
+            elif kind == "run_complete":
+                complete = True
+        progress = {"steps_done": steps, "complete": complete}
+        if degraded:
+            progress["degraded"] = degraded
+        return progress
+
+    def status(self) -> dict:
+        """Queue snapshot: per-state job lists with run-journal progress."""
+        return {state: [{"job": job_id, **self._progress(job_id)}
+                        for job_id in self._jobs(state)]
+                for state in _STATES}
+
+
+class ServeDaemon:
+    """Claims queued jobs and runs each under the resumable harness.
+
+    Parameters
+    ----------
+    root:
+        The queue directory (created if missing).
+    workers:
+        Pool-width override applied to every job (``None`` honours each
+        spec's own ``workers`` field).
+    poll_seconds:
+        Idle sleep between empty queue polls when not in ``once`` mode.
+    max_jobs:
+        Stop after this many jobs (``None`` = run until the queue side
+        says stop; with ``once=True``, until the queue drains).
+    """
+
+    def __init__(self, root: str | Path, *, workers: int | None = None,
+                 poll_seconds: float = 1.0, max_jobs: int | None = None):
+        self.queue = JobQueue(root)
+        self.workers = workers
+        self.poll_seconds = float(poll_seconds)
+        self.max_jobs = max_jobs
+
+    def run(self, once: bool = False) -> int:
+        """Process jobs; returns how many ran (completed or failed).
+
+        Startup always recovers orphaned active jobs first, so a daemon
+        restarted over a crashed one resumes its in-flight work.
+        """
+        recovered = self.queue.recover()
+        if recovered:
+            get_recorder().counter("serve/jobs_recovered", len(recovered),
+                                  operational=True)
+        processed = 0
+        while self.max_jobs is None or processed < self.max_jobs:
+            claimed = self.queue.claim()
+            if claimed is None:
+                if once:
+                    break
+                time.sleep(self.poll_seconds)
+                continue
+            self._run_job(*claimed)
+            processed += 1
+        return processed
+
+    def _run_job(self, job_id: str, spec: dict) -> None:
+        """Run one claimed job in its own run dir with its own recorder.
+
+        A :class:`~repro.runtime.faults.SimulatedCrash` re-raises —
+        it models this daemon dying, so the job must stay in
+        ``active/`` for the next daemon's recovery pass, exactly like a
+        real SIGKILL.  Any other exception fails the job and the daemon
+        moves on.
+        """
+        run_dir = self.queue.job_dir(job_id)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        recorder = Recorder(run_dir)
+        try:
+            with use_recorder(recorder):
+                runner = build_job_runner(spec, workers=self.workers)
+                report = runner.run(run_dir, resume=True)
+        except SimulatedCrash:
+            raise
+        except Exception as error:  # job isolation: one bad spec can't
+            self.queue.fail(job_id, error)  # take the daemon down
+            return
+        finally:
+            recorder.close()
+        result = {"final_accuracy": report.result.final_accuracy,
+                  "resumed_layers": report.resumed_layers,
+                  "skipped": report.skipped_layers,
+                  "degraded": report.degraded_steps}
+        self.queue.finish(job_id, result)

@@ -1,0 +1,96 @@
+"""Concurrent journal appends and torn-tail repair under the append lock.
+
+Covers the multi-writer guarantees of
+:meth:`repro.runtime.journal.RunJournal.append`: two processes
+appending to the same journal interleave whole records only (the
+``fcntl`` advisory lock covers both the torn-tail repair and the
+write), a writer killed mid-record leaves a tail the next append
+repairs away, and the strict metrics reader — the integrity gate —
+still refuses a genuinely torn stream rather than papering over it.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro import obs
+from repro.cli import main as cli_main
+from repro.runtime import RunJournal
+
+RECORDS_PER_WRITER = 25
+
+
+def _writer(path, tag):
+    journal = RunJournal(path)
+    for index in range(RECORDS_PER_WRITER):
+        journal.append({"record": "probe", "tag": tag, "index": index})
+
+
+class TestConcurrentAppend:
+    def test_two_writers_interleave_whole_records_only(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        ctx = multiprocessing.get_context("fork")
+        writers = [ctx.Process(target=_writer, args=(path, tag))
+                   for tag in ("a", "b")]
+        for process in writers:
+            process.start()
+        for process in writers:
+            process.join(timeout=60)
+        assert all(process.exitcode == 0 for process in writers)
+
+        # Every line parses and nothing was lost or truncated.
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2 * RECORDS_PER_WRITER
+        records = [json.loads(line) for line in lines]
+        for tag in ("a", "b"):
+            indices = [r["index"] for r in records if r["tag"] == tag]
+            assert indices == list(range(RECORDS_PER_WRITER))
+        assert len(RunJournal(path).read()) == 2 * RECORDS_PER_WRITER
+
+
+class TestTornTailRepair:
+    def torn_journal(self, tmp_path):
+        """A journal whose writer died mid-record (no trailing newline)."""
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(path)
+        journal.append({"record": "probe", "index": 0})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"record": "probe", "index": 1, "half')
+        return journal
+
+    def test_read_tolerates_the_torn_tail(self, tmp_path):
+        journal = self.torn_journal(tmp_path)
+        assert [r["index"] for r in journal.read()] == [0]
+
+    def test_next_append_repairs_before_writing(self, tmp_path):
+        journal = self.torn_journal(tmp_path)
+        journal.append({"record": "probe", "index": 2})
+        assert [r["index"] for r in journal.read()] == [0, 2]
+        # The torn bytes are physically gone, not just skipped on read.
+        lines = journal.path.read_text().splitlines()
+        assert [json.loads(line)["index"] for line in lines] == [0, 2]
+
+
+class TestMetricsIntegrityGate:
+    def torn_metrics_dir(self, tmp_path):
+        recorder = obs.Recorder(tmp_path)
+        with recorder:
+            recorder.counter("probe/events", 2)
+        with open(recorder.sink.path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "counter", "name": "probe/lost"')
+        return tmp_path
+
+    def test_tolerant_reader_drops_the_tail_and_reports_it(self, tmp_path):
+        metrics_dir = self.torn_metrics_dir(tmp_path)
+        events, torn = obs.load_metrics_report(metrics_dir)
+        assert torn
+        assert [e["name"] for e in events] == ["probe/events"]
+
+    def test_strict_reader_and_check_gate_still_fail(self, tmp_path,
+                                                     capsys):
+        metrics_dir = self.torn_metrics_dir(tmp_path)
+        with pytest.raises(obs.MetricsError):
+            obs.load_metrics(metrics_dir, strict=True)
+        assert cli_main(["metrics", str(metrics_dir), "--check"]) == 2
+        assert "error" in capsys.readouterr().err
