@@ -12,6 +12,14 @@ hand-rolled checker (no external schema dependency) used three times:
 
 A field that is present but non-finite (NaN/inf) is a violation: a
 benchmark that produced non-finite timings or rates measured nothing.
+
+Schema version 2 adds the graph-executor variants and the numeric-drift
+contract: every variant carries ``max_drift_vs_dense`` (its worst
+absolute logit deviation from the dense masked forward on float64
+inputs), and validation *fails the report* when the fused graph variant
+drifts beyond :data:`FUSED_DRIFT_LIMIT` or a bit-exact variant (dense,
+cached, unfused graph) drifts at all — numeric fidelity is part of the
+benchmark's pass/fail, not a buried counter.
 """
 
 from __future__ import annotations
@@ -19,12 +27,23 @@ from __future__ import annotations
 import math
 
 __all__ = ["SCHEMA_VERSION", "BENCH_SCHEMA", "REQUIRED_VARIANTS",
-           "validate_bench"]
+           "FUSED_DRIFT_LIMIT", "validate_bench"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
-#: Required variants: the reduction claim is uncached vs cached.
-REQUIRED_VARIANTS = ("uncached", "cached")
+#: Required variants: the reduction claim is uncached vs cached; the
+#: graph claim is cached vs graph_fused (with unfused graph as the
+#: bit-exactness witness).
+REQUIRED_VARIANTS = ("uncached", "cached", "graph", "graph_fused")
+
+#: Max tolerated ``max_drift_vs_dense`` for the fused graph variant.
+#: BN-fold + ReLU-fuse reassociate float ops, so ~1e-8 drift is
+#: expected; beyond 1e-6 the fusion is numerically wrong, not rounded.
+FUSED_DRIFT_LIMIT = 1e-6
+
+#: Variants whose forward must be bit-for-bit identical to dense —
+#: any nonzero drift is a violation, not a tolerance question.
+_BIT_EXACT_VARIANTS = ("uncached", "cached", "graph")
 
 _INT = "int"
 _NUM = "number"        # finite int or float
@@ -52,6 +71,7 @@ BENCH_SCHEMA = {
         "reward_invocations": _INT,
         "evals_per_iteration": _NUM,
         "final_accuracy": _NUM,
+        "max_drift_vs_dense": _NUM,
     },
     "cache": {
         "hits": _INT,
@@ -62,10 +82,12 @@ BENCH_SCHEMA = {
     "reduction": {
         "reward_invocations_pct": _NUM,
         "wall_clock_speedup": _NUM,
+        "graph_wall_clock_speedup": _NUM,
     },
     "determinism": {
         "identical_accuracy": _BOOL,
         "identical_state": _BOOL,
+        "graph_identical_state": _BOOL,
     },
 }
 
@@ -118,6 +140,20 @@ def validate_bench(payload: object) -> list[str]:
                 continue
             for field, kind in BENCH_SCHEMA["variant"].items():
                 _check_field(problems, variant, field, kind, where)
+            drift = variant.get("max_drift_vs_dense")
+            if isinstance(drift, (int, float)) and math.isfinite(drift) \
+                    and not isinstance(drift, bool):
+                if drift < 0:
+                    problems.append(f"{where}.max_drift_vs_dense: negative "
+                                    f"value {drift!r}")
+                elif name in _BIT_EXACT_VARIANTS and drift != 0:
+                    problems.append(
+                        f"{where}.max_drift_vs_dense: {drift!r} — variant "
+                        "must be bit-for-bit identical to dense")
+                elif name == "graph_fused" and drift > FUSED_DRIFT_LIMIT:
+                    problems.append(
+                        f"{where}.max_drift_vs_dense: {drift!r} exceeds the "
+                        f"fused-op limit {FUSED_DRIFT_LIMIT!r}")
             cache = variant.get("cache")
             if cache is not None:
                 if not isinstance(cache, dict):

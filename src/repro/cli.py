@@ -47,8 +47,8 @@ import numpy as np
 
 from . import obs
 from .analysis import Table
-from .core import (AMCConfig, AMCLitePruner, BlockHeadStart, FinetuneConfig,
-                   HeadStartConfig, HeadStartPruner)
+from .core import (AMCConfig, AMCLitePruner, BlockHeadStart, EvalOptions,
+                   FinetuneConfig, HeadStartConfig, HeadStartPruner)
 from .data import make_cifar100_like, make_cub200_like
 from .analysis.report import write_experiments_markdown
 from .gpusim import (available_devices, estimate_energy, estimate_fps,
@@ -205,12 +205,57 @@ def _journaled_run(runner, args):
     return report, 0
 
 
+def _eval_options(args) -> EvalOptions:
+    """The ``--eval-*`` group resolved to an :class:`EvalOptions`.
+
+    The scattered pre-redesign flags (``--cache-size``/``--workers``/
+    ``--task-seconds``/``--task-retries``/``--compressed-eval``) are
+    still honoured with a deprecation notice; an explicit ``--eval-*``
+    spelling wins over its old counterpart.
+    """
+    deprecated: list[str] = []
+
+    def pick(new, old, default, flag):
+        if new is not None:
+            return new
+        if old is not None:
+            deprecated.append(flag)
+            return old
+        return default
+
+    mode = args.eval_mode
+    if mode is None:
+        if args.compressed_eval:
+            deprecated.append("--compressed-eval")
+            mode = "compressed"
+        else:
+            mode = "dense"
+    options = EvalOptions(
+        cache=args.eval_cache,
+        cache_size=pick(args.eval_cache_size, args.cache_size, 256,
+                        "--cache-size"),
+        compressed=mode == "compressed",
+        graph=mode == "graph",
+        fused=args.eval_fused,
+        mask_batch=args.eval_mask_batch,
+        workers=pick(args.eval_workers, args.workers, 0, "--workers"),
+        task_seconds=pick(args.eval_task_seconds, args.task_seconds, None,
+                          "--task-seconds"),
+        task_retries=pick(args.eval_task_retries, args.task_retries, 2,
+                          "--task-retries"))
+    if deprecated:
+        print(f"warning: {', '.join(deprecated)} deprecated; use the "
+              "--eval-* flags (repro prune --help)", file=sys.stderr)
+    return options
+
+
 def _cmd_prune(args) -> int:
     if args.resume and not args.run_dir:
         print("error: --resume requires --run-dir", file=sys.stderr)
         return 2
     try:
         options = _runtime_options(args)
+        eval_options = _eval_options(args)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -230,12 +275,7 @@ def _cmd_prune(args) -> int:
                              min_iterations=max(4, args.iterations // 2),
                              patience=max(4, args.iterations // 4),
                              eval_batch=args.eval_batch, seed=args.seed,
-                             eval_cache=args.eval_cache,
-                             cache_size=args.cache_size,
-                             compressed_eval=args.compressed_eval,
-                             workers=args.workers,
-                             task_seconds=args.task_seconds,
-                             task_retries=args.task_retries)
+                             eval=eval_options)
     if args.mode == "block":
         if not isinstance(model, ResNet):
             print("block mode requires a ResNet", file=sys.stderr)
@@ -415,24 +455,31 @@ def _cmd_bench(args) -> int:
         return 1
     path = write_report(report, args.out)
 
-    table = Table(["VARIANT", "WALL S", "EVALS REQ", "INVOKED", "HIT RATE"],
+    table = Table(["VARIANT", "WALL S", "EVALS REQ", "INVOKED", "HIT RATE",
+                   "DRIFT"],
                   title="reward fast path")
     for name, variant in report["variants"].items():
         cache = variant["cache"] or {}
         rate = cache.get("hit_rate")
+        drift = variant["max_drift_vs_dense"]
         table.add_row([name, round(variant["wall_seconds"], 3),
                        variant["requested_evals"],
                        variant["reward_invocations"],
-                       "-" if rate is None else round(rate, 3)])
+                       "-" if rate is None else round(rate, 3),
+                       "0" if drift == 0 else f"{drift:.1e}"])
     print(table.render())
     reduction = report["reduction"]
     print(f"reward invocations cut by "
           f"{reduction['reward_invocations_pct']:.1f}%  "
           f"(wall-clock speedup {reduction['wall_clock_speedup']:.2f}x)")
+    print(f"graph (fused) over cached dense: "
+          f"{reduction['graph_wall_clock_speedup']:.2f}x wall-clock")
     determinism = report["determinism"]
     print(f"cached == uncached: accuracy "
           f"{determinism['identical_accuracy']}, model state "
           f"{determinism['identical_state']}")
+    print(f"graph (unfused) == uncached: model state "
+          f"{determinism['graph_identical_state']}")
     print(f"report written to {path}")
     return 0
 
@@ -627,30 +674,55 @@ def build_parser() -> argparse.ArgumentParser:
                        help="wall-clock watchdog budget per pruning step")
     prune.add_argument("--step-evals", type=int, default=None,
                        help="reward/loss evaluation budget per pruning step")
-    prune.add_argument("--eval-cache", action=argparse.BooleanOptionalAction,
-                       default=True,
-                       help="memoize reward evaluations on the exact action "
-                            "mask (bit-for-bit identical results; "
-                            "--no-eval-cache disables)")
-    prune.add_argument("--cache-size", type=int, default=256,
-                       help="eval-cache capacity in distinct masks per "
-                            "layer (0 = unbounded)")
-    prune.add_argument("--workers", type=int, default=0,
-                       help="evaluate REINFORCE reward samples on this many "
-                            "supervised worker processes (0 = in-process "
-                            "serial; results are bitwise-identical either "
-                            "way)")
-    prune.add_argument("--task-seconds", type=float, default=None,
-                       help="wall-clock timeout per pooled evaluation; a "
-                            "worker that exceeds it is killed and the task "
-                            "retried (default: no timeout)")
-    prune.add_argument("--task-retries", type=int, default=2,
-                       help="retries per pooled evaluation before that task "
-                            "degrades to in-process serial (default 2)")
-    prune.add_argument("--compressed-eval", action="store_true",
-                       help="physically skip masked channels during reward "
-                            "evaluation (faster; equal to dense masking "
-                            "only to ~1e-10, so off by default)")
+    evalgrp = prune.add_argument_group(
+        "evaluation fast path",
+        "how candidate-mask rewards are computed; every knob is "
+        "performance-only (see docs/PERFORMANCE.md)")
+    evalgrp.add_argument("--eval-mode",
+                         choices=("dense", "compressed", "graph"),
+                         default=None,
+                         help="dense: eager masked forward (default); "
+                              "compressed: physically skip masked channels "
+                              "(~1e-10 vs dense); graph: static-graph "
+                              "executor with per-layer prefix caching "
+                              "(bit-for-bit identical unless --eval-fused)")
+    evalgrp.add_argument("--eval-cache",
+                         action=argparse.BooleanOptionalAction, default=True,
+                         help="memoize reward evaluations on the exact "
+                              "action mask (bit-for-bit identical results; "
+                              "--no-eval-cache disables)")
+    evalgrp.add_argument("--eval-cache-size", type=int, default=None,
+                         help="eval-cache capacity in distinct masks per "
+                              "layer (0 = unbounded; default 256)")
+    evalgrp.add_argument("--eval-fused", action="store_true",
+                         help="graph mode only: fold BatchNorm into conv "
+                              "weights and fuse trailing ReLUs (~1e-8 vs "
+                              "dense)")
+    evalgrp.add_argument("--eval-mask-batch", action="store_true",
+                         help="graph mode only: score each iteration's "
+                              "candidate masks in one folded-batch forward")
+    evalgrp.add_argument("--eval-workers", type=int, default=None,
+                         help="evaluate rewards on this many supervised "
+                              "worker processes (0 = in-process serial; "
+                              "results are bitwise-identical either way)")
+    evalgrp.add_argument("--eval-task-seconds", type=float, default=None,
+                         help="wall-clock timeout per pooled evaluation; a "
+                              "worker that exceeds it is killed and the "
+                              "task retried (default: no timeout)")
+    evalgrp.add_argument("--eval-task-retries", type=int, default=None,
+                         help="retries per pooled evaluation before that "
+                              "task degrades to in-process serial "
+                              "(default 2)")
+    evalgrp.add_argument("--cache-size", type=int, default=None,
+                         help="deprecated alias of --eval-cache-size")
+    evalgrp.add_argument("--workers", type=int, default=None,
+                         help="deprecated alias of --eval-workers")
+    evalgrp.add_argument("--task-seconds", type=float, default=None,
+                         help="deprecated alias of --eval-task-seconds")
+    evalgrp.add_argument("--task-retries", type=int, default=None,
+                         help="deprecated alias of --eval-task-retries")
+    evalgrp.add_argument("--compressed-eval", action="store_true",
+                         help="deprecated alias of --eval-mode compressed")
     prune.add_argument("--out", default=None)
     prune.set_defaults(handler=_cmd_prune)
 

@@ -3,7 +3,7 @@
 from .agent import AgentResult, LayerAgent
 from .amc import AMCConfig, AMCLitePruner, AMCResult
 from .blocks import BlockAgentResult, BlockHeadStart, bypass_blocks
-from .config import HeadStartConfig
+from .config import EvalOptions, HeadStartConfig
 from .distill import DistillConfig, distill_finetune, distillation_loss
 from .evalcache import EvalCache, mask_key
 from .finetune import FinetuneConfig, finetune
@@ -15,7 +15,7 @@ from .reward import acc_term, reward, spd_term
 from .scratch import resnet_like_pruned, vgg_like_pruned
 
 __all__ = [
-    "HeadStartConfig",
+    "HeadStartConfig", "EvalOptions",
     "EvalCache", "mask_key",
     "HeadStartNetwork", "sample_actions", "threshold_action",
     "bernoulli_log_prob",

@@ -14,7 +14,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..nn.graph import GraphTraceError
+from ..nn.graph import compile as graph_compile
 from ..nn.modules import Module
+from ..nn.tensor import Tensor
 from ..obs import get_recorder
 from ..pruning.surgery import channel_mask, compressed_mask
 from ..pruning.units import ConvUnit
@@ -86,13 +89,46 @@ class LayerAgent:
                                        hidden_channels=config.hidden_channels,
                                        keep_ratio=1.0 / config.speedup,
                                        rng=self.rng)
+        #: Static-graph executor for this layer's reward evals, built
+        #: lazily by :meth:`run` when ``config.eval.graph`` is on.
+        self._graph = None
 
     # -- reward plumbing ----------------------------------------------------
+    def _build_graph(self):
+        """Compile the model once for this layer, or fall back to eager.
+
+        A model the tracer cannot express (data-dependent control flow,
+        an active compressed-eval gate) raises
+        :class:`~repro.nn.graph.GraphTraceError`; the agent then keeps
+        the eager path and journals nothing — the ``graph/*`` counters
+        are operational, so a fallen-back run still diffs clean against
+        an eager one.
+        """
+        rec = get_recorder()
+        try:
+            executor = graph_compile(self.model, Tensor(self.images[:1]),
+                                     fuse=self.config.eval.fused,
+                                     mask_batch=self.config.eval.mask_batch)
+            executor.set_mask_unit(self.unit.conv, self.unit.bn)
+        except GraphTraceError as error:
+            rec.counter("graph/fallbacks", 1, operational=True,
+                        layer=self.unit.name, reason=str(error))
+            return None
+        rec.counter("graph/compiled", 1, operational=True,
+                    layer=self.unit.name, nodes=executor.num_nodes)
+        return executor
+
     def _masked_accuracy(self, action: np.ndarray,
                          full: bool = False) -> float:
         images = self.full_images if full else self.images
         labels = self.full_labels if full else self.labels
-        masker = compressed_mask if self.config.compressed_eval \
+        if self._graph is not None:
+            # Distinct prefix-cache keys: the batch and full calibration
+            # sets feed different boundary activations.
+            key = f"{self.unit.name}@{'full' if full else 'batch'}"
+            return float(self._graph.masked_accuracy(
+                images, labels, [np.asarray(action) > 0.5], key=key)[0])
+        masker = compressed_mask if self.config.eval.compressed \
             else channel_mask
         with masker(self.unit, action.astype(bool)):
             return evaluate(self.model, images, labels)
@@ -104,6 +140,28 @@ class LayerAgent:
                               self.config.speedup,
                               acc_weight=self.config.acc_weight,
                               spd_weight=self.config.spd_weight)
+
+    def _batch_reward_fn(self, original_accuracy: float):
+        """List-of-actions reward evaluator over the graph executor.
+
+        Plugs into :attr:`ReinforceDriver.batch_reward_fn`: the driver
+        hands over each iteration's deduped cache misses and the
+        executor scores them through one shared boundary prefix (and,
+        with ``eval.mask_batch``, one folded suffix forward).  Values
+        agree with :meth:`_reward` — both paths run the same suffix
+        kernels per mask.
+        """
+        def batch_rewards(actions: list[np.ndarray]) -> list[float]:
+            masks = [np.asarray(action) > 0.5 for action in actions]
+            accuracies = self._graph.masked_accuracy(
+                self.images, self.labels, masks,
+                key=f"{self.unit.name}@batch")
+            return [compute_reward(float(accuracy), original_accuracy,
+                                   action, self.config.speedup,
+                                   acc_weight=self.config.acc_weight,
+                                   spd_weight=self.config.spd_weight)
+                    for accuracy, action in zip(accuracies, actions)]
+        return batch_rewards
 
     def _reward_fns(self, original_accuracy: float):
         """The (iteration, finalist) reward callables, cache-wrapped.
@@ -117,8 +175,8 @@ class LayerAgent:
         final_fn = lambda action: self._reward(action, original_accuracy,
                                                full=True)
         cache = None
-        if self.config.eval_cache:
-            cache = EvalCache(reward_fn, maxsize=self.config.cache_size,
+        if self.config.eval.cache:
+            cache = EvalCache(reward_fn, maxsize=self.config.eval.cache_size,
                               scope=self.unit.name)
             reward_fn = cache
         return reward_fn, final_fn, cache
@@ -146,29 +204,35 @@ class LayerAgent:
         self.full_labels = shared["full_labels"]
         raw_fn = cache.reward_fn if cache is not None else reward_fn
         pool = EvalPool({"batch": raw_fn, "final": final_fn},
-                        workers=self.config.workers,
-                        task_seconds=self.config.task_seconds,
-                        task_retries=self.config.task_retries,
+                        workers=self.config.eval.workers,
+                        task_seconds=self.config.eval.task_seconds,
+                        task_retries=self.config.eval.task_retries,
                         seed=self.config.seed,
                         scope=self.unit.name,
-                        cache_size=self.config.cache_size,
-                        worker_cache=self.config.eval_cache)
+                        cache_size=self.config.eval.cache_size,
+                        worker_cache=self.config.eval.cache)
         return pool, shared, originals
 
     # -- main loop -----------------------------------------------------------
     def run(self) -> AgentResult:
         """Train the policy until the reward stabilises; return the inception."""
+        if self.config.eval.graph:
+            self._graph = self._build_graph()
         original_accuracy = evaluate(self.model, self.images, self.labels)
         reward_fn, final_fn, cache = self._reward_fns(original_accuracy)
         pool = shared = originals = None
-        if self.config.workers > 0:
+        if self.config.eval.workers > 0:
             pool, shared, originals = self._build_pool(reward_fn, final_fn,
                                                        cache)
+        batch_fn = None
+        if self._graph is not None and pool is None:
+            batch_fn = self._batch_reward_fn(original_accuracy)
         try:
             driver = ReinforceDriver(
                 self.policy, reward_fn=reward_fn,
                 config=self.config, rng=self.rng,
-                final_reward_fn=final_fn, pool=pool)
+                final_reward_fn=final_fn, pool=pool,
+                batch_reward_fn=batch_fn)
             outcome = driver.run()
         finally:
             if pool is not None:
@@ -186,6 +250,10 @@ class LayerAgent:
                                  layer=self.unit.name)
             if pool is not None:
                 cache_stats["workers"] = pool.cache_summary()
+        if self._graph is not None:
+            arena = self._graph.arena_stats
+            get_recorder().gauge("graph/arena_reuses", arena["reuses"],
+                                 operational=True, layer=self.unit.name)
         return AgentResult(
             keep_mask=keep_mask, probabilities=outcome.probabilities,
             iterations=outcome.iterations,

@@ -157,11 +157,14 @@ class BlockHeadStart(SteppedEngineBase):
         """
         original_accuracy = evaluate(self.model, self.images, self.labels)
         reward_fn = lambda action: self._reward(action, original_accuracy)
-        if config.eval_cache:
+        if config.eval.cache:
             # Block rewards are pure in the action for a fixed model
             # (bypass_blocks restores the wiring), so the same exact-mask
-            # memoization the layer agent uses applies verbatim.
-            reward_fn = EvalCache(reward_fn, maxsize=config.cache_size,
+            # memoization the layer agent uses applies verbatim.  Graph
+            # eval does not apply here: block bypass rewires whole
+            # residual blocks, which the traced unit-mask split cannot
+            # express.
+            reward_fn = EvalCache(reward_fn, maxsize=config.eval.cache_size,
                                   scope="blocks")
         driver = ReinforceDriver(
             policy, reward_fn=reward_fn,

@@ -7,26 +7,56 @@ counts are capped and the policy learning rate is raised relative to the
 paper's 1e-3 because the miniature CPU setting trains for far fewer
 iterations; the convergence criterion ("nearly constant loss and
 reward") is the paper's.
+
+Evaluation acceleration lives in one place: :class:`EvalOptions` on
+``HeadStartConfig.eval`` gathers every reward-eval fast-path knob that
+accumulated across PRs 4-6 (memoization, compressed masked forward,
+worker pool) plus the static-graph executor of :mod:`repro.nn.graph`.
+The old flat fields (``eval_cache``/``cache_size``/``compressed_eval``/
+``workers``/``task_seconds``/``task_retries``) still work everywhere —
+construction and attribute reads — but emit :class:`DeprecationWarning`;
+``graph_eval`` is a non-deprecated convenience alias for
+``eval.graph``.  Resume digests are unchanged across spellings:
+:func:`resume_relevant` strips the whole ``eval`` block alongside the
+legacy flat names.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass
 
-__all__ = ["HeadStartConfig", "PERF_FIELDS", "resume_relevant"]
+__all__ = ["EvalOptions", "HeadStartConfig", "PERF_FIELDS",
+           "resume_relevant"]
 
 #: Config fields that accelerate evaluation without changing what a run
 #: computes.  They are excluded from the resume digest
 #: (:func:`resume_relevant`) so a journaled run may be resumed with
 #: caching toggled or resized — the fast path is bit-for-bit equivalent
-#: by contract (``tests/test_evalcache.py``), except ``compressed_eval``
-#: whose masked forward agrees with the dense one only to ~1e-10; it is
-#: still excluded because both paths round identically often enough for
-#: accuracy-based rewards, and flipping it mid-run is an operator
-#: decision, not a config change.
+#: by contract (``tests/test_evalcache.py``, ``tests/test_graph.py``),
+#: except ``compressed`` (~1e-10 vs dense) and ``fused`` graph eval
+#: (~1e-8 vs dense); those are still excluded because both paths round
+#: identically often enough for accuracy-based rewards, and flipping
+#: them mid-run is an operator decision, not a config change.  The flat
+#: names cover configs journaled before the ``eval`` block existed, so
+#: old and new spellings hash identically.
 PERF_FIELDS = ("eval_cache", "cache_size", "compressed_eval",
-               "workers", "task_seconds", "task_retries")
+               "workers", "task_seconds", "task_retries", "eval")
+
+#: Old flat ``HeadStartConfig`` spelling -> :class:`EvalOptions` field.
+#: ``graph_eval`` is an alias, not a deprecation: it is the documented
+#: gate for the static-graph executor.
+_LEGACY_EVAL_FIELDS = {
+    "eval_cache": "cache",
+    "cache_size": "cache_size",
+    "compressed_eval": "compressed",
+    "graph_eval": "graph",
+    "workers": "workers",
+    "task_seconds": "task_seconds",
+    "task_retries": "task_retries",
+}
+_DEPRECATED_EVAL_FIELDS = frozenset(_LEGACY_EVAL_FIELDS) - {"graph_eval"}
 
 
 def resume_relevant(config) -> dict:
@@ -34,7 +64,9 @@ def resume_relevant(config) -> dict:
 
     Accepts any dataclass; fields named in :data:`PERF_FIELDS` are
     dropped so two runs differing only in evaluation acceleration hash
-    equal and may resume each other's journals.
+    equal and may resume each other's journals — including a run
+    journaled with the old flat fields resumed by a config spelling the
+    same knobs as ``eval=EvalOptions(...)``.
     """
     if dataclasses.is_dataclass(config) and not isinstance(config, type):
         fields = dataclasses.asdict(config)
@@ -45,6 +77,92 @@ def resume_relevant(config) -> dict:
     for name in PERF_FIELDS:
         fields.pop(name, None)
     return fields
+
+
+@dataclass(frozen=True)
+class EvalOptions:
+    """Every reward-evaluation fast-path knob, in one object.
+
+    All options are performance-only (:data:`PERF_FIELDS`): they change
+    how fast rewards are computed, never which pruning decisions a run
+    makes — exactly (``cache``, ``workers``, unfused ``graph``) or to
+    documented drift (``compressed`` ~1e-10, ``fused`` ~1e-8).
+
+    Attributes
+    ----------
+    cache:
+        Memoize reward evaluations on the exact binary mask
+        (:class:`~repro.core.evalcache.EvalCache`).  Bit-for-bit
+        neutral.
+    cache_size:
+        LRU bound on distinct masks each per-layer cache retains
+        (0 disables the bound).
+    compressed:
+        Evaluate masked rewards with the compressed forward
+        (:func:`repro.pruning.surgery.compressed_mask`) that physically
+        skips dropped channels.  ~1e-10 vs dense; mutually exclusive
+        with ``graph``.
+    graph:
+        Evaluate rewards through the static-graph executor
+        (:func:`repro.nn.compile`): the model is traced once per layer
+        agent, masks are applied at the traced unit's boundary, and the
+        layers *before* the masked unit are computed once and cached
+        across every candidate mask.  Unfused graph eval is bit-for-bit
+        identical to the dense eager path.
+    fused:
+        Fold BatchNorm into the preceding conv's weights and absorb
+        trailing ReLUs into conv/linear epilogues at trace time
+        (requires ``graph``).  ~1e-8 vs dense, so it defaults off.
+    mask_batch:
+        Score a whole batch of candidate masks in one forward by
+        folding the masks into the batch dimension (requires
+        ``graph``).
+    workers:
+        Number of pool worker processes scoring candidate masks in
+        parallel (:class:`repro.runtime.pool.EvalPool`); 0 evaluates
+        serially in-process.  Bit-for-bit neutral.
+    task_seconds:
+        Per-task wall-clock timeout inside the pool (``None`` disables).
+    task_retries:
+        Bounded attempts per pool task beyond the first; exhausted
+        tasks degrade to in-process serial evaluation.
+    """
+
+    cache: bool = True
+    cache_size: int = 256
+    compressed: bool = False
+    graph: bool = False
+    fused: bool = False
+    mask_batch: bool = False
+    workers: int = 0
+    task_seconds: float | None = None
+    task_retries: int = 2
+
+    def __post_init__(self):
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0 (0 means unbounded)")
+        if self.compressed and self.graph:
+            raise ValueError("compressed and graph eval are mutually "
+                             "exclusive (pick --eval-mode)")
+        if self.fused and not self.graph:
+            raise ValueError("fused eval requires graph eval")
+        if self.mask_batch and not self.graph:
+            raise ValueError("mask_batch eval requires graph eval")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 means serial)")
+        if self.task_seconds is not None and self.task_seconds <= 0:
+            raise ValueError("task_seconds must be positive (or None)")
+        if self.task_retries < 0:
+            raise ValueError("task_retries must be >= 0")
+
+    @property
+    def mode(self) -> str:
+        """The ``--eval-mode`` name: ``dense``/``compressed``/``graph``."""
+        if self.graph:
+            return "graph"
+        if self.compressed:
+            return "compressed"
+        return "dense"
 
 
 @dataclass(frozen=True)
@@ -109,36 +227,14 @@ class HeadStartConfig:
         to zero gives the ACC-only / SPD-only reward ablations.
     seed:
         Seed for policy initialisation and action sampling.
-    eval_cache:
-        Memoize reward evaluations on the exact binary mask
-        (:class:`~repro.core.evalcache.EvalCache`).  Bit-for-bit neutral:
-        a cached run's outcome, journal and final weights are identical
-        to an uncached run at the same seed.
-    cache_size:
-        LRU bound on distinct masks each per-layer cache retains
-        (0 disables the bound).
-    compressed_eval:
-        Evaluate masked rewards with the compressed forward
-        (:func:`repro.pruning.surgery.compressed_mask`) that physically
-        skips dropped channels instead of multiplying by zeros.  Faster
-        at high sparsity but only ~1e-10-equivalent to the dense masked
-        forward, so it defaults off; see ``docs/PERFORMANCE.md``.
-    workers:
-        Number of pool worker processes scoring candidate masks in
-        parallel (:class:`repro.runtime.pool.EvalPool`); 0 (the default)
-        evaluates serially in-process.  Bit-for-bit neutral: results are
-        merged in deterministic submission order, so a parallel run's
-        rewards, journal and final weights are identical to a serial
-        run at the same seed.
-    task_seconds:
-        Per-task wall-clock timeout inside the pool; a worker that does
-        not answer within the budget is killed and its task retried on a
-        fresh worker.  ``None`` disables the timeout.
-    task_retries:
-        Bounded attempts per pool task beyond the first (worker crashes
-        and timeouts requeue the task); once exhausted, the task — and
-        eventually the whole pool — degrades to in-process serial
-        evaluation, which computes identical values.
+    eval:
+        Evaluation fast-path settings (:class:`EvalOptions`); accepts
+        an ``EvalOptions`` or an equivalent plain dict (the journaled
+        form).  The old flat constructor arguments and attribute reads
+        (``eval_cache``/``cache_size``/``compressed_eval``/``workers``/
+        ``task_seconds``/``task_retries``) still work but are
+        deprecated; ``graph_eval`` is the supported shorthand for
+        ``eval.graph``.
     """
 
     speedup: float = 2.0
@@ -161,12 +257,7 @@ class HeadStartConfig:
     acc_weight: float = 1.0
     spd_weight: float = 1.0
     seed: int = 0
-    eval_cache: bool = True
-    cache_size: int = 256
-    compressed_eval: bool = False
-    workers: int = 0
-    task_seconds: float | None = None
-    task_retries: int = 2
+    eval: EvalOptions = EvalOptions()
 
     def __post_init__(self):
         if self.speedup < 1.0:
@@ -181,11 +272,62 @@ class HeadStartConfig:
             raise ValueError("optimizer must be 'sgd' or 'rmsprop'")
         if not 0.0 <= self.exploration < 0.5:
             raise ValueError("exploration must lie in [0, 0.5)")
-        if self.cache_size < 0:
-            raise ValueError("cache_size must be >= 0 (0 means unbounded)")
-        if self.workers < 0:
-            raise ValueError("workers must be >= 0 (0 means serial)")
-        if self.task_seconds is not None and self.task_seconds <= 0:
-            raise ValueError("task_seconds must be positive (or None)")
-        if self.task_retries < 0:
-            raise ValueError("task_retries must be >= 0")
+        # Journal round-trips store the eval block as a plain dict
+        # (dataclasses.asdict); coerce it back so attribute access and
+        # validation behave identically either way.
+        if isinstance(self.eval, dict):
+            object.__setattr__(self, "eval", EvalOptions(**self.eval))
+        elif not isinstance(self.eval, EvalOptions):
+            raise TypeError("eval must be an EvalOptions (or its dict form)")
+
+
+def _install_legacy_eval_shims(cls) -> None:
+    """Back-compat for the pre-``EvalOptions`` flat config surface.
+
+    Wraps the generated ``__init__`` so the old keyword arguments are
+    accepted (with a :class:`DeprecationWarning`, merged into ``eval``
+    after any explicit ``eval=`` value), and attaches read properties so
+    ``config.eval_cache`` etc. keep answering.  Installed post-class
+    rather than via ``InitVar`` so :func:`dataclasses.replace` neither
+    requires the legacy names nor re-triggers the warning.
+    """
+    dataclass_init = cls.__init__
+
+    def __init__(self, *args, **kwargs):
+        overrides = {}
+        deprecated = []
+        for old, new in _LEGACY_EVAL_FIELDS.items():
+            if old in kwargs:
+                overrides[new] = kwargs.pop(old)
+                if old in _DEPRECATED_EVAL_FIELDS:
+                    deprecated.append(old)
+        if deprecated:
+            warnings.warn(
+                f"HeadStartConfig({', '.join(sorted(deprecated))}) is "
+                "deprecated; pass eval=EvalOptions(...) instead "
+                "(see docs/PERFORMANCE.md)",
+                DeprecationWarning, stacklevel=2)
+        dataclass_init(self, *args, **kwargs)
+        if overrides:
+            object.__setattr__(self, "eval",
+                               dataclasses.replace(self.eval, **overrides))
+
+    __init__.__wrapped__ = dataclass_init
+    cls.__init__ = __init__
+
+    def make_property(old: str, new: str):
+        def getter(self):
+            if old in _DEPRECATED_EVAL_FIELDS:
+                warnings.warn(
+                    f"HeadStartConfig.{old} is deprecated; read "
+                    f"config.eval.{new} instead",
+                    DeprecationWarning, stacklevel=2)
+            return getattr(self.eval, new)
+        getter.__name__ = old
+        return property(getter, doc=f"Alias of ``eval.{new}``.")
+
+    for old, new in _LEGACY_EVAL_FIELDS.items():
+        setattr(cls, old, make_property(old, new))
+
+
+_install_legacy_eval_shims(HeadStartConfig)

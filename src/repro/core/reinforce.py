@@ -73,6 +73,12 @@ class ReinforceDriver:
         are bit-for-bit identical to serial evaluation.  Exchange
         mutations (one per iteration) stay in-process — a single eval
         is not worth a round-trip.
+    batch_reward_fn:
+        Optional list-of-actions -> list-of-rewards evaluator used by
+        :meth:`_score_candidates` for the deduped cache misses of each
+        iteration (the graph executor's mask-batch scoring plugs in
+        here).  Must agree with ``reward_fn`` value-for-value; ignored
+        while a ``pool`` is attached (the pool already batches).
     """
 
     def __init__(self, policy: HeadStartNetwork,
@@ -80,13 +86,16 @@ class ReinforceDriver:
                  config: HeadStartConfig,
                  rng: np.random.Generator,
                  final_reward_fn: Callable[[np.ndarray], float] | None = None,
-                 pool=None):
+                 pool=None,
+                 batch_reward_fn: Callable[[list[np.ndarray]],
+                                           list[float]] | None = None):
         self.policy = policy
         self.reward_fn = reward_fn
         self.final_reward_fn = final_reward_fn or reward_fn
         self.config = config
         self.rng = rng
         self.pool = pool
+        self.batch_reward_fn = batch_reward_fn
         self.optimizer = _policy_optimizer(policy, config)
         # run() restarts from this captured state every time, so calling
         # it twice on one driver yields identical outcomes (no policy
@@ -109,11 +118,47 @@ class ReinforceDriver:
         """
         if self.pool is not None:
             return self._score_candidates_pooled(candidates)
+        if self.batch_reward_fn is not None:
+            return self._score_candidates_batched(candidates)
         unique: dict[bytes, float] = {}
         for action in candidates:
             key = mask_key(action)
             if key not in unique:
                 unique[key] = float(self.reward_fn(action))
+        rec = get_recorder()
+        rec.counter("reinforce/reward_evals", len(candidates))
+        rec.counter("reinforce/unique_evals", len(unique))
+        return np.array([unique[mask_key(action)] for action in candidates])
+
+    def _score_candidates_batched(self,
+                                  candidates: list[np.ndarray]) -> np.ndarray:
+        """:meth:`_score_candidates` through ``batch_reward_fn``.
+
+        Mirrors the pooled path's cache discipline: the parent cache
+        (when ``reward_fn`` is an :class:`~repro.core.evalcache
+        .EvalCache`) answers every unique mask in first-appearance
+        order — emitting the exact hit/miss counter sequence of the
+        serial path — and only the misses go to the batch evaluator,
+        whose values are inserted back in the same order.
+        """
+        cache = self.reward_fn if isinstance(self.reward_fn, EvalCache) \
+            else None
+        unique: dict[bytes, float | None] = {}
+        misses: list[np.ndarray] = []
+        for action in candidates:
+            key = mask_key(action)
+            if key in unique:
+                continue
+            value = cache.lookup(action) if cache is not None else None
+            unique[key] = value
+            if value is None:
+                misses.append(action)
+        if misses:
+            for action, value in zip(misses, self.batch_reward_fn(misses)):
+                value = float(value)
+                unique[mask_key(action)] = value
+                if cache is not None:
+                    cache.insert(action, value)
         rec = get_recorder()
         rec.counter("reinforce/reward_evals", len(candidates))
         rec.counter("reinforce/unique_evals", len(unique))

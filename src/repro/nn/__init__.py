@@ -9,6 +9,7 @@ the substitution rationale.
 
 from . import functional, init, optim
 from .grad_check import check_gradients, numerical_gradient
+from .graph import GraphExecutor, GraphTraceError, compile
 from .metrics import accuracy, topk_accuracy
 from .modules import (AvgPool2d, BatchNorm2d, Conv2d, Dropout, Flatten,
                       GlobalAvgPool2d, Identity, Linear, MaxPool2d, Module,
@@ -23,6 +24,7 @@ __all__ = [
     "Sigmoid", "Tanh", "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d",
     "Flatten", "Dropout", "Identity", "Sequential", "Upsample",
     "accuracy", "topk_accuracy",
+    "compile", "GraphExecutor", "GraphTraceError",
     "any_nonfinite", "NonFiniteError",
     "check_gradients", "numerical_gradient",
 ]

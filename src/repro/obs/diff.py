@@ -19,7 +19,12 @@ Two entry points, one result type:
   accuracies) are compared within ``counter_tolerance`` percent, and
   wall timings within ``wall_tolerance`` (skippable with
   ``check_wall=False`` for cross-machine CI gates, where only the
-  counters are stable).
+  counters are stable).  Each variant's ``max_drift_vs_dense`` is
+  reported as a first-class note and gated **absolutely**, never by
+  percentage: a variant drifting from exactly 0 to any nonzero value,
+  or a fused variant exceeding the 1e-6 fused-op limit, is a
+  behavioural difference regardless of tolerances — float drift is a
+  contract, not a performance counter.
 
 CLI: ``repro metrics diff <a> <b>`` — exit 0 when clean, 1 on any
 difference or regression, 2 on unreadable input.  CI uses the bench
@@ -180,6 +185,10 @@ _VARIANT_COUNTERS = ("iterations", "requested_evals", "unique_evals",
                      "reward_invocations")
 #: Derived rates/accuracies compared with the same counter tolerance.
 _VARIANT_RATES = ("evals_per_iteration", "final_accuracy")
+#: Absolute ceiling on any variant's numeric drift vs dense — matches
+#: :data:`repro.bench.schema.FUSED_DRIFT_LIMIT`; duplicated here so the
+#: observability layer stays import-free of the bench package.
+_DRIFT_LIMIT = 1e-6
 
 
 def diff_bench_reports(a: dict, b: dict,
@@ -195,7 +204,8 @@ def diff_bench_reports(a: dict, b: dict,
             result.differences.append(
                 f"{key} differs: {a.get(key)!r} vs {b.get(key)!r} "
                 "(reports are not comparable)")
-    for key in ("identical_accuracy", "identical_state"):
+    for key in ("identical_accuracy", "identical_state",
+                "graph_identical_state"):
         was = (a.get("determinism") or {}).get(key)
         now = (b.get("determinism") or {}).get(key)
         if was is True and now is not True:
@@ -217,6 +227,25 @@ def diff_bench_reports(a: dict, b: dict,
                 result.regressions.append(
                     f"{where}.{key}: {va.get(key)} -> {vb.get(key)} "
                     f"({off:.1f}% off, tolerance {counter_tolerance:g}%)")
+        # Numeric drift is gated absolutely, never through the pct
+        # tolerance loop: 0 -> anything nonzero is a broken bit-exactness
+        # contract, and anything above the fused-op limit is a wrong
+        # fusion — both count as differences even under loose tolerances.
+        drift_a = va.get("max_drift_vs_dense")
+        drift_b = vb.get("max_drift_vs_dense")
+        if drift_a is not None or drift_b is not None:
+            old = float(drift_a or 0.0)
+            new = float(drift_b or 0.0)
+            result.notes.append(
+                f"{where}.max_drift_vs_dense: {old:.3e} -> {new:.3e}")
+            if old == 0.0 and new != 0.0:
+                result.differences.append(
+                    f"{where}.max_drift_vs_dense: bit-exact variant now "
+                    f"drifts by {new:.3e}")
+            elif new > _DRIFT_LIMIT:
+                result.differences.append(
+                    f"{where}.max_drift_vs_dense: {new:.3e} exceeds the "
+                    f"{_DRIFT_LIMIT:g} fused-op limit")
         cache_a, cache_b = va.get("cache"), vb.get("cache")
         if (cache_a is None) != (cache_b is None):
             result.differences.append(f"{where}.cache present on one side "

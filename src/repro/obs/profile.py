@@ -40,7 +40,7 @@ import time
 from .recorder import get_recorder
 
 __all__ = ["ModuleProfiler", "label_modules", "module_name",
-           "profiler_active"]
+           "profiler_active", "record_graph_op"]
 
 #: The active profiler (at most one; class-level hooks are global).
 _ACTIVE: "ModuleProfiler | None" = None
@@ -77,6 +77,27 @@ def label_modules(model, prefix: str = "") -> int:
 def module_name(module) -> str:
     """The display name of a module: its label, else its ``repr``."""
     return _NAMES.get(id(module), repr(module))
+
+
+def record_graph_op(module, kind: str, in_shape, out_shape,
+                    dur: float) -> None:
+    """Report one graph-executor node as an ``op`` event.
+
+    The static-graph executor (:mod:`repro.nn.graph`) bypasses module
+    ``forward`` calls entirely, so the class-level hooks never fire for
+    it; instead the executor times each compute node and reports it here
+    when a profiler is installed.  Attribution matches the eager hooks:
+    the module's label (or repr), the layer-kind string, and the same
+    deterministic FLOP/byte accounting.  A fused conv+BN node reports as
+    its ``Conv2d`` module.  No-op when no profiler is installed.
+    """
+    profiler = _ACTIVE
+    if profiler is None:
+        return
+    flops, bytes_ = profiler._op_cost(module, tuple(in_shape),
+                                      tuple(out_shape))
+    get_recorder().op(module_name(module), kind, "forward", dur,
+                      flops=flops, bytes=bytes_)
 
 
 class ModuleProfiler:

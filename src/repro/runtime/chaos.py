@@ -38,14 +38,19 @@ __all__ = ["ENGINE_KINDS", "run_chaos", "main"]
 #: Engine kinds the matrix covers: one per stepped-engine implementation,
 #: plus a fast-path column (``headstart-cached``) that reruns the HeadStart
 #: scenario with the reward eval-cache and compressed masked forward on —
-#: the kill/resume contract must hold identically on the fast path — and a
+#: the kill/resume contract must hold identically on the fast path — a
 #: worker-kill column (``headstart-pool``) that runs the scenario with a
 #: 2-process evaluation pool whose workers are SIGKILLed on their first
 #: task in the killed *and* resumed phases: the pool must degrade to
 #: serial (journaled), and the degraded resume must still match the
-#: healthy parallel baseline bit-for-bit.
+#: healthy parallel baseline bit-for-bit — and a graph-executor column
+#: (``headstart-graph``) whose baseline runs the *dense eager* path while
+#: the killed and resumed phases run under ``--eval-mode graph``
+#: (unfused): a crash under graph eval must resume to the dense
+#: baseline's exact journal, accuracy and weights, which is the
+#: executor's bit-exactness contract under fire.
 ENGINE_KINDS = ("headstart", "headstart-cached", "headstart-pool",
-                "block", "amc", "li17")
+                "headstart-graph", "block", "amc", "li17")
 
 
 def _make_task(seed: int):
@@ -54,14 +59,18 @@ def _make_task(seed: int):
                               seed=seed)
 
 
-def _make_runner(kind: str, task, seed: int) -> ResumableRunner:
+def _make_runner(kind: str, task, seed: int,
+                 graph: bool = False) -> ResumableRunner:
     """A fresh model + engine + runner; called once per run phase.
 
     Every phase rebuilds from scratch so the killed and resumed runs
     share nothing in memory with the baseline — only the journal.
+    ``graph`` switches the headstart-graph column's chaos phases onto
+    the static-graph executor while its baseline stays dense.
     """
     from ..core import (AMCConfig, AMCLitePruner, BlockHeadStart,
-                        FinetuneConfig, HeadStartConfig, HeadStartPruner)
+                        EvalOptions, FinetuneConfig, HeadStartConfig,
+                        HeadStartPruner)
     from ..pruning import build_engine
 
     model_name = "resnet20" if kind == "block" else "lenet"
@@ -70,15 +79,21 @@ def _make_runner(kind: str, task, seed: int) -> ResumableRunner:
                         rng=np.random.default_rng(seed))
     # The plain column pins the slow path (no memoization) so the matrix
     # keeps covering it; the -cached column turns on the whole fast path;
-    # the -pool column shards reward evaluations across worker processes.
+    # the -pool column shards reward evaluations across worker processes;
+    # the -graph column keeps the cache on and flips only the executor
+    # between phases (graph eval is a PERF_FIELD, so the digest matches).
     cached = kind == "headstart-cached"
     pooled = kind == "headstart-pool"
-    config = HeadStartConfig(speedup=2.0, max_iterations=6, min_iterations=3,
-                             patience=3, eval_batch=16, seed=seed,
-                             mc_samples=2, eval_cache=cached or pooled,
-                             compressed_eval=cached,
-                             workers=2 if pooled else 0)
-    if kind in ("headstart", "headstart-cached", "headstart-pool"):
+    graphed = kind == "headstart-graph"
+    config = HeadStartConfig(
+        speedup=2.0, max_iterations=6, min_iterations=3,
+        patience=3, eval_batch=16, seed=seed, mc_samples=2,
+        eval=EvalOptions(cache=cached or pooled or graphed,
+                         compressed=cached,
+                         graph=graphed and graph,
+                         workers=2 if pooled else 0))
+    if kind in ("headstart", "headstart-cached", "headstart-pool",
+                "headstart-graph"):
         engine = HeadStartPruner(
             model, task.train, task.test, config=config,
             finetune_config=FinetuneConfig(epochs=1, batch_size=24, lr=0.02,
@@ -149,7 +164,10 @@ def run_chaos(kind: str, seed: int, root) -> list[str]:
         killed_plan.crash_at("pool.task", 1)
         resumed_plan.crash_at("pool.task", 1)
 
-    killed = _make_runner(kind, task, seed)
+    # headstart-graph: the baseline above ran dense; the killed and
+    # resumed phases run under the (bit-exact, unfused) graph executor.
+    use_graph = kind == "headstart-graph"
+    killed = _make_runner(kind, task, seed, graph=use_graph)
     with inject(killed_plan):
         try:
             killed.run(root / "chaos")
@@ -158,7 +176,7 @@ def run_chaos(kind: str, seed: int, root) -> list[str]:
         else:
             return [f"crash at step {crash_step} did not fire"]
 
-    resumed = _make_runner(kind, task, seed)
+    resumed = _make_runner(kind, task, seed, graph=use_graph)
     with inject(resumed_plan):
         resumed_report = resumed.run(root / "chaos", resume=True)
 

@@ -31,7 +31,9 @@ Job specs are flat JSON objects; every field is optional (see
 (``headstart``, ``block``, ``amc``, or a metric kind like ``li17``);
 ``workers``/``task_seconds``/``task_retries`` thread through to the
 evaluation pool (:mod:`repro.runtime.pool`), so a daemon shards each
-job's reward evaluations across worker processes.
+job's reward evaluations across worker processes; ``eval_mode``
+(``dense``/``compressed``/``graph``) picks the reward evaluation path
+(:class:`repro.core.EvalOptions`).
 """
 
 from __future__ import annotations
@@ -72,6 +74,7 @@ SPEC_DEFAULTS: dict = {
     "workers": 0,
     "task_seconds": None,
     "task_retries": 2,
+    "eval_mode": "dense",       # dense | compressed | graph
     "collapse_ratio": None,     # None -> engine-appropriate default
 }
 
@@ -98,7 +101,8 @@ def build_job_runner(spec: dict, workers: int | None = None):
     existing journal.
     """
     from ..core import (AMCConfig, AMCLitePruner, BlockHeadStart,
-                        FinetuneConfig, HeadStartConfig, HeadStartPruner)
+                        EvalOptions, FinetuneConfig, HeadStartConfig,
+                        HeadStartPruner)
     from ..data import make_cifar100_like
     from ..models import build_model
     from ..pruning import build_engine
@@ -123,16 +127,22 @@ def build_job_runner(spec: dict, workers: int | None = None):
             TrainConfig(epochs=int(spec["epochs"]), batch_size=24,
                         lr=0.05, seed=seed))
     kind = spec["engine"]
-    pool_kwargs = dict(workers=int(spec["workers"]),
-                       task_seconds=spec["task_seconds"],
-                       task_retries=int(spec["task_retries"]))
+    mode = spec["eval_mode"]
+    if mode not in ("dense", "compressed", "graph"):
+        raise ValueError(f"unknown eval_mode {mode!r} (expected dense, "
+                         "compressed or graph)")
+    eval_options = EvalOptions(compressed=mode == "compressed",
+                               graph=mode == "graph",
+                               workers=int(spec["workers"]),
+                               task_seconds=spec["task_seconds"],
+                               task_retries=int(spec["task_retries"]))
     config = HeadStartConfig(speedup=spec["speedup"],
                              mc_samples=spec["mc_samples"],
                              max_iterations=spec["max_iterations"],
                              min_iterations=spec["min_iterations"],
                              patience=spec["patience"],
                              eval_batch=spec["eval_batch"],
-                             seed=seed, **pool_kwargs)
+                             seed=seed, eval=eval_options)
     if kind == "headstart":
         engine = HeadStartPruner(
             model, task.train, task.test, config=config,
