@@ -368,12 +368,26 @@ def _cmd_prune(args) -> int:
     return 0
 
 
+def _fmt_age(seconds) -> str:
+    if seconds is None:
+        return "-"
+    seconds = float(seconds)
+    if seconds < 90:
+        return f"{seconds:.0f}s"
+    if seconds < 5400:
+        return f"{seconds / 60:.0f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
 def _cmd_serve(args) -> int:
     import json
+    import os
+    import signal
 
     from .runtime.serve import JobQueue, ServeDaemon
 
-    queue = JobQueue(args.root)
+    queue = JobQueue(args.root, lease_seconds=args.lease_seconds,
+                     max_attempts=args.max_attempts)
     acted = False
     for spec_path in args.submit or ():
         try:
@@ -388,24 +402,80 @@ def _cmd_serve(args) -> int:
             return 2
         print(f"submitted {job_id} ({spec_path})")
         acted = True
+    if args.drain:
+        # Sentinel first (covers daemons on other hosts polling this
+        # queue), then SIGTERM the live same-host daemons so they notice
+        # mid-job instead of at the next claim.
+        queue.request_drain()
+        signalled = 0
+        for daemon in queue.daemons():
+            if not daemon.get("live"):
+                continue
+            try:
+                os.kill(int(daemon["pid"]), signal.SIGTERM)
+                signalled += 1
+            except (OSError, TypeError, ValueError):
+                continue
+        print(f"drain requested; signalled {signalled} live daemon(s)")
+        acted = True
     if args.status:
-        table = Table(["STATE", "JOB", "STEPS", "RUN"],
+        table = Table(["STATE", "JOB", "ATT", "AGE", "DAEMON", "STEPS",
+                       "RUN"],
                       title=f"queue at {args.root}")
         for state, jobs in queue.status().items():
             for job in jobs:
                 run = "complete" if job["complete"] else "in progress"
                 if job.get("degraded"):
                     run += f" ({job['degraded']} degraded)"
-                table.add_row([state, job["job"], job["steps_done"], run])
-        print(table.render())
+                if state == "active" and job.get("lease_live") is False:
+                    run += " [lease expired]"
+                failure = job.get("failure")
+                if failure:
+                    run = f"{failure.get('kind')}: " \
+                          f"{failure.get('message', '')[:40]}"
+                table.add_row([state, job["job"], job.get("attempts", 0),
+                               _fmt_age(job.get("age_seconds")),
+                               job.get("daemon") or "-",
+                               job["steps_done"], run])
+        try:
+            print(table.render())
+            daemons = queue.daemons()
+            if daemons:
+                fleet = Table(["DAEMON", "PID", "STATE", "JOB", "DONE",
+                               "QUAR", "UPTIME", "SEEN"],
+                              title="daemons")
+                for info in daemons:
+                    jobs_done = (info.get("jobs") or {})
+                    fleet.add_row([
+                        info.get("daemon", "?"), info.get("pid", "?"),
+                        (info.get("state", "?")
+                         + ("" if info.get("live") else " (gone)")),
+                        info.get("job") or "-",
+                        jobs_done.get("done", 0),
+                        jobs_done.get("quarantined", 0),
+                        _fmt_age(info.get("uptime_seconds")),
+                        _fmt_age(info.get("stale_seconds"))])
+                print(fleet.render())
+        except BrokenPipeError:
+            # `repro serve --status | head` closes stdout early; exit
+            # quietly (redirecting to devnull stops the interpreter's
+            # shutdown flush from raising again).
+            os.dup2(os.open(os.devnull, os.O_WRONLY),
+                    sys.stdout.fileno())
+            return 0
         acted = True
-    # Submit/status-only invocations exit without running jobs; anything
-    # else (including a bare `repro serve <root>`) runs the daemon.
+    # Submit/status/drain-only invocations exit without running jobs;
+    # anything else (including a bare `repro serve <root>`) runs the
+    # daemon.
     if acted and not args.once and args.max_jobs is None:
         return 0
     daemon = ServeDaemon(args.root, workers=args.workers,
                          poll_seconds=args.poll_seconds,
-                         max_jobs=args.max_jobs)
+                         max_jobs=args.max_jobs,
+                         daemon_id=args.daemon_id,
+                         lease_seconds=args.lease_seconds,
+                         max_attempts=args.max_attempts,
+                         breaker_threshold=args.breaker_threshold)
     processed = daemon.run(once=args.once)
     print(f"processed {processed} job(s)")
     return 0
@@ -792,7 +862,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "every field is optional — see "
                             "repro.runtime.serve.SPEC_DEFAULTS")
     serve.add_argument("--status", action="store_true",
-                       help="print per-job state and run-journal progress")
+                       help="print per-job state (attempts, age, owning "
+                            "daemon, run progress) and fleet health")
+    serve.add_argument("--drain", action="store_true",
+                       help="ask every running daemon to finish its "
+                            "current step, requeue its job, and exit "
+                            "(sentinel file + SIGTERM to live daemons)")
     serve.add_argument("--once", action="store_true",
                        help="drain the queue and exit instead of polling "
                             "forever")
@@ -803,6 +878,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=None,
                        help="override every job's evaluation-pool width "
                             "(default: honour each spec's own setting)")
+    serve.add_argument("--daemon-id", default=None,
+                       help="stable identity for leases/health (default: "
+                            "host-pid-n)")
+    # Defaults mirror repro.runtime.serve.DEFAULT_LEASE_SECONDS /
+    # DEFAULT_MAX_ATTEMPTS (kept literal so the parser stays import-light).
+    serve.add_argument("--lease-seconds", type=float, default=30.0,
+                       help="heartbeat lease validity window; another "
+                            "daemon may reclaim a job whose lease expired")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="executions (failures + crash recoveries) "
+                            "before a job is quarantined")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive distinct failed jobs that pause "
+                            "claiming with exponential backoff")
     serve.set_defaults(handler=_cmd_serve)
 
     report = commands.add_parser(

@@ -97,6 +97,39 @@ def _pct_off(base: float, new: float) -> float:
     return abs(new - base) / scale * 100.0
 
 
+def _canonical_span_ids(view: list[dict]) -> list[dict]:
+    """Renumber span ids by order of appearance (parents remapped too).
+
+    Span ids are per-recorder allocation order, so they restart at 1
+    whenever a process picks a run back up — a serve job killed mid-run
+    and resumed by another daemon appends a second id sequence to the
+    same ``metrics.jsonl``.  The *structure* (names, nesting, attrs) is
+    what the deterministic view guarantees; renumbering in appearance
+    order compares exactly that.  For a single-process run the mapping
+    is the identity.  ``span_end`` resolves through the latest mapping
+    of its raw id, which is correct for concatenated sequences because
+    each phase closes a span before its id can be reallocated.
+    """
+    mapping: dict[int, int] = {}
+    next_id = 1
+    canonical = []
+    for record in view:
+        event = record.get("event")
+        if event == "span_start":
+            record = dict(record)
+            mapping[record["span"]] = next_id
+            record["span"] = next_id
+            parent = record.get("parent")
+            if parent is not None:
+                record["parent"] = mapping.get(parent, parent)
+            next_id += 1
+        elif event == "span_end":
+            record = dict(record)
+            record["span"] = mapping.get(record["span"], record["span"])
+        canonical.append(record)
+    return canonical
+
+
 def _counter_totals(view: list[dict]) -> dict[str, float]:
     """Per-name counter totals of a deterministic view.
 
@@ -126,7 +159,8 @@ def diff_metrics_dirs(a: str | Path, b: str | Path,
     if torn_b:
         result.notes.append(f"{b}: torn final line dropped")
 
-    view_a, view_b = deterministic_view(events_a), deterministic_view(events_b)
+    view_a = _canonical_span_ids(deterministic_view(events_a))
+    view_b = _canonical_span_ids(deterministic_view(events_b))
     if len(view_a) != len(view_b):
         result.differences.append(
             f"deterministic view lengths differ: {len(view_a)} vs "

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from . import faults
 from .errors import (AccuracyCollapseError, DivergenceError, JournalError,
-                     ResumeMismatchError)
+                     JournalWriteError, ResumeMismatchError, RunInterrupted)
 from .faults import FaultPlan, FaultSpec, SimulatedCrash, inject
 from .guards import (check_accuracy_collapse, require_all_finite,
                      require_finite)
@@ -35,7 +35,7 @@ from .watchdog import BudgetExceededError, StepBudget, StepWatchdog
 
 __all__ = [
     "DivergenceError", "AccuracyCollapseError", "ResumeMismatchError",
-    "JournalError",
+    "JournalError", "JournalWriteError", "RunInterrupted",
     "FaultPlan", "FaultSpec", "SimulatedCrash", "inject", "faults",
     "require_finite", "require_all_finite", "check_accuracy_collapse",
     "RunJournal", "config_digest", "FORMAT_VERSION", "run_overview",

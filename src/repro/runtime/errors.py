@@ -9,7 +9,7 @@ journal to reconstruct what went wrong without a debugger.
 from __future__ import annotations
 
 __all__ = ["DivergenceError", "AccuracyCollapseError", "ResumeMismatchError",
-           "JournalError"]
+           "JournalError", "JournalWriteError", "RunInterrupted"]
 
 
 class DivergenceError(RuntimeError):
@@ -76,3 +76,39 @@ class ResumeMismatchError(RuntimeError):
 
 class JournalError(RuntimeError):
     """The run journal is missing, empty, or structurally invalid."""
+
+
+class JournalWriteError(DivergenceError):
+    """A journal append could not be made durable (disk full, I/O error).
+
+    Raised by :meth:`repro.runtime.journal.RunJournal.append` when the
+    write, flush or fsync fails or lands short.  The failed append is
+    rolled back (the file is truncated to its pre-write length) before
+    raising, so the journal never keeps a torn tail for the next reader
+    to repair.  A ``DivergenceError`` subclass so callers that classify
+    journalable failures treat an undurable journal like any other
+    structured runtime fault.
+    """
+
+    def __init__(self, path, detail: str):
+        self.path = str(path)
+        super().__init__("journal.append", detail=f"{path}: {detail}")
+
+
+class RunInterrupted(RuntimeError):
+    """A cooperative stop request ended the run at a step boundary.
+
+    Raised by :class:`~repro.runtime.harness.ResumableRunner` when its
+    ``stop_check`` hook returns a reason (e.g. a serve daemon draining
+    or discovering its job lease was taken over).  Every completed step
+    is already journaled, so the run resumes later exactly as if the
+    process had been killed — except the interruption is clean: leases
+    can be released and health records written on the way out.
+    """
+
+    def __init__(self, reason: str, steps_done: int = 0):
+        self.reason = reason
+        self.steps_done = steps_done
+        super().__init__(
+            f"run interrupted ({reason}) after {steps_done} journaled "
+            f"step(s)")

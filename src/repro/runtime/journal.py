@@ -11,6 +11,11 @@ a final ``run_complete`` record.
 Records are flushed and fsync'd as they are appended, so a crash loses
 at most the line being written; :meth:`RunJournal.read` tolerates a
 truncated final line (the layer it described simply re-runs on resume).
+An append that cannot be made durable — disk full, I/O error, short
+write — is rolled back (the file is truncated to its pre-write length)
+and raised as a typed
+:class:`~repro.runtime.errors.JournalWriteError`, so a failing disk
+surfaces as a structured fault instead of a torn tail.
 
 Appends are safe across processes: each append holds an advisory
 ``fcntl`` lock on the journal for the torn-tail repair *and* the write,
@@ -35,7 +40,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback, lock elided
 
 from ..obs.sink import jsonable as _jsonable
 from ..obs.sink import repair_torn_tail
-from .errors import JournalError
+from .errors import JournalError, JournalWriteError
 
 __all__ = ["FORMAT_VERSION", "RunJournal", "config_digest", "run_overview"]
 
@@ -93,20 +98,46 @@ class RunJournal:
         if "record" not in record:
             raise ValueError("journal records need a 'record' type key")
         line = json.dumps(_jsonable(record), sort_keys=True,
-                          separators=(",", ":"))
+                          separators=(",", ":")) + "\n"
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as handle:
             if fcntl is not None:
                 fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
             try:
                 self._repair_torn_tail()
-                handle.write(line + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
+                offset = os.fstat(handle.fileno()).st_size
+                try:
+                    written = handle.write(line)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                except OSError as error:
+                    self._rollback(offset)
+                    raise JournalWriteError(
+                        self.path, f"append failed ({error}); journal "
+                        f"truncated back to {offset} bytes") from error
+                if written != len(line):
+                    self._rollback(offset)
+                    raise JournalWriteError(
+                        self.path, f"short write ({written} of {len(line)} "
+                        f"chars); journal truncated back to {offset} bytes")
             finally:
                 if fcntl is not None:
                     fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
         return record
+
+    def _rollback(self, offset: int) -> None:
+        """Truncate a failed append back to its pre-write length.
+
+        A flush that ran out of disk may have landed any prefix of the
+        line; cutting back to ``offset`` removes the torn tail while the
+        append lock is still held, so later readers and writers never
+        see (or have to repair) the partial record.  Rollback itself
+        failing is tolerated — the torn-tail repair remains the backstop.
+        """
+        try:
+            os.truncate(self.path, offset)
+        except OSError:  # pragma: no cover - double-fault (dying disk)
+            pass
 
     # -- reading -----------------------------------------------------------
     def read(self) -> list[dict]:

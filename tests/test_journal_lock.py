@@ -72,6 +72,76 @@ class TestTornTailRepair:
         assert [json.loads(line)["index"] for line in lines] == [0, 2]
 
 
+class TestJournalWriteError:
+    def test_failed_fsync_rolls_back_and_raises_typed(self, tmp_path,
+                                                      monkeypatch):
+        """A dying disk surfaces as JournalWriteError, never a torn tail."""
+        from repro.runtime import DivergenceError, JournalWriteError
+        from repro.runtime import journal as journal_module
+
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(path)
+        journal.append({"record": "probe", "index": 0})
+        before = path.read_bytes()
+
+        def failing_fsync(fd):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(journal_module.os, "fsync", failing_fsync)
+        with pytest.raises(JournalWriteError) as excinfo:
+            journal.append({"record": "probe", "index": 1})
+        # Typed + journalable like any other structured runtime fault.
+        assert isinstance(excinfo.value, DivergenceError)
+        assert excinfo.value.stage == "journal.append"
+        assert excinfo.value.path == str(path)
+        assert "No space left" in str(excinfo.value)
+        # Rolled back: prior records intact, no torn tail on disk.
+        assert path.read_bytes() == before
+        monkeypatch.undo()
+        assert [r["index"] for r in journal.read()] == [0]
+        journal.append({"record": "probe", "index": 2})
+        assert [r["index"] for r in journal.read()] == [0, 2]
+
+    def test_short_write_rolls_back_and_raises(self, tmp_path,
+                                               monkeypatch):
+        from repro.runtime import JournalWriteError
+        from repro.runtime import journal as journal_module
+
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        journal.append({"record": "probe", "index": 0})
+        before = journal.path.read_bytes()
+
+        class ShortWriteFile:
+            """Delegating file whose write() drops half of every line."""
+
+            def __init__(self, handle):
+                self._handle = handle
+
+            def write(self, text):
+                self._handle.write(text[: len(text) // 2])
+                return len(text) // 2
+
+            def __getattr__(self, name):
+                return getattr(self._handle, name)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return self._handle.__exit__(*exc)
+
+        def short_open(*open_args, **open_kwargs):
+            return ShortWriteFile(open(*open_args, **open_kwargs))
+
+        # Shadow the builtin within the journal module only.
+        monkeypatch.setattr(journal_module, "open", short_open,
+                            raising=False)
+        with pytest.raises(JournalWriteError, match="short write"):
+            journal.append({"record": "probe", "index": 1})
+        monkeypatch.undo()
+        assert journal.path.read_bytes() == before
+
+
 class TestMetricsIntegrityGate:
     def torn_metrics_dir(self, tmp_path):
         recorder = obs.Recorder(tmp_path)

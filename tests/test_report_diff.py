@@ -186,6 +186,45 @@ class TestMetricsDiff:
         assert not result.ok
         assert any("deterministic event" in d for d in result.differences)
 
+    def test_resumed_stream_span_ids_diff_clean(self, tmp_path):
+        """A killed-and-resumed job's stream matches an uninterrupted one.
+
+        The resumed phase's recorder restarts span ids at 1 in the same
+        ``metrics.jsonl``; the diff canonicalises ids by appearance
+        order, so identical *behaviour* diffs clean regardless of how
+        many processes produced the stream.
+        """
+        whole = tmp_path / "whole"
+        with obs.Recorder(whole) as recorder:
+            with recorder.span("step", layer="a"):
+                recorder.counter("probe/work")
+            with recorder.span("step", layer="b"):
+                recorder.counter("probe/work")
+        pieced = tmp_path / "pieced"
+        with obs.Recorder(pieced) as recorder:
+            with recorder.span("step", layer="a"):
+                recorder.counter("probe/work")
+        with obs.Recorder(pieced) as recorder:  # resume: ids restart
+            with recorder.span("step", layer="b"):
+                recorder.counter("probe/work")
+        result = obs.diff_metrics_dirs(whole, pieced, check_wall=False)
+        assert result.differences == [] and result.regressions == []
+
+    def test_canonicalisation_keeps_structure_differences(self, tmp_path):
+        nested = tmp_path / "nested"
+        with obs.Recorder(nested) as recorder:
+            with recorder.span("outer"):
+                with recorder.span("inner"):
+                    pass
+        flat = tmp_path / "flat"
+        with obs.Recorder(flat) as recorder:
+            with recorder.span("outer"):
+                pass
+            with recorder.span("inner"):
+                pass
+        result = obs.diff_metrics_dirs(nested, flat, check_wall=False)
+        assert not result.ok  # different parentage is different behaviour
+
     def test_torn_tail_is_noted(self, journaled_run, tmp_path):
         torn = tmp_path / "torn"
         torn.mkdir()

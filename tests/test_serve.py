@@ -12,6 +12,7 @@ it exercises is engine-generic (test_resilience covers the others).
 """
 
 import json
+import time
 
 import pytest
 
@@ -54,26 +55,73 @@ class TestJobQueue:
         with pytest.raises(ValueError, match="sed"):
             JobQueue(tmp_path).submit({"engine": "li17", "sed": 3})
 
-    def test_recover_requeues_active_jobs(self, tmp_path):
+    def test_recover_honours_a_live_lease(self, tmp_path):
         queue = JobQueue(tmp_path)
         job_id = queue.submit(dict(QUICK_SPEC))
         queue.claim()
         assert queue.claim() is None
-        assert queue.recover() == [job_id]
-        reclaimed, _ = queue.claim()
+        # Our own lease is live, so recover (from any daemon) skips it.
+        assert queue.recover() == ([], [])
+        other = JobQueue(tmp_path, daemon_id="other-daemon")
+        lease = queue.read_lease(job_id)
+        assert other.lease_live(lease) is False  # same pid, other daemon
+        assert other.recover() == ([job_id], [])
+        reclaimed, _ = other.claim()
         assert reclaimed == job_id
+        assert other.read_lease(job_id)["daemon"] == "other-daemon"
         assert "job_recovered" in journal_kinds(queue)
 
-    def test_failed_jobs_record_the_error(self, tmp_path):
-        queue = JobQueue(tmp_path)
+    def test_recover_skips_foreign_live_lease_until_expiry(self, tmp_path):
+        queue = JobQueue(tmp_path, lease_seconds=0.2)
         job_id = queue.submit(dict(QUICK_SPEC))
         queue.claim()
-        queue.fail(job_id, ValueError("boom"))
+        # Rewrite the lease as a foreign host's: liveness falls back to
+        # the deadline (no pid to probe here).
+        lease = queue.read_lease(job_id)
+        lease["host"] = "elsewhere"
+        lease["daemon"] = "elsewhere-1"
+        queue.lease_path(job_id).write_text(json.dumps(lease))
+        other = JobQueue(tmp_path, daemon_id="other-daemon")
+        assert other.recover() == ([], [])  # deadline not reached
+        time.sleep(0.25)
+        assert other.recover() == ([job_id], [])  # lease expired
+
+    def test_recover_grants_a_leaseless_claim_a_grace_window(self, tmp_path):
+        """claim() leases an instant *after* its rename; a recovery pass
+        landing inside that instant must not steal the live claim."""
+        queue = JobQueue(tmp_path, lease_seconds=0.2)
+        job_id = queue.submit(dict(QUICK_SPEC))
+        # Freeze a claim mid-flight: renamed into active/, no lease yet.
+        (tmp_path / "pending" / f"{job_id}.json").rename(
+            tmp_path / "active" / f"{job_id}.json")
+        assert queue.recover() == ([], [])  # claimant presumed alive
+        time.sleep(0.25)
+        # A full lease period with no lease: the claimant really died.
+        assert queue.recover() == ([job_id], [])
+        assert queue.history_problems() == []
+
+    def test_failed_jobs_requeue_then_quarantine(self, tmp_path):
+        queue = JobQueue(tmp_path, max_attempts=2)
+        job_id = queue.submit(dict(QUICK_SPEC))
+        queue.claim()
+        assert queue.fail(job_id, ValueError("boom")) == "retry"
         record = [r for r in queue.journal.read()
-                  if r["record"] == "job_failed"][0]
+                  if r["record"] == "job_retry"][0]
         assert record["kind"] == "ValueError"
         assert record["message"] == "boom"
-        assert [job["job"] for job in queue.status()["failed"]] == [job_id]
+        assert record["attempt"] == 1
+        assert [job["job"] for job in queue.status()["pending"]] == [job_id]
+        queue.claim()
+        assert queue.fail(job_id, ValueError("boom")) == "quarantined"
+        rows = queue.status()["quarantined"]
+        assert [job["job"] for job in rows] == [job_id]
+        assert rows[0]["failure"]["kind"] == "ValueError"
+        assert rows[0]["attempts"] == 2
+        failure_file = (tmp_path / "quarantined"
+                        / f"{job_id}.failure.json")
+        assert json.loads(failure_file.read_text())["message"] == "boom"
+        assert not queue.lease_path(job_id).exists()
+        assert queue.history_problems() == []
 
 
 class TestServeDaemon:
@@ -88,14 +136,21 @@ class TestServeDaemon:
                   if r["record"] == "job_complete"][0]["result"]
         assert "final_accuracy" in result
 
-    def test_bad_job_fails_without_killing_the_daemon(self, tmp_path):
+    def test_bad_job_quarantines_without_killing_the_daemon(self, tmp_path):
         queue = JobQueue(tmp_path)
         bad = queue.submit({"engine": "no-such-engine"})
         good = queue.submit(dict(QUICK_SPEC))
-        assert ServeDaemon(tmp_path).run(once=True) == 2
+        # Three attempts burn on the poison job, one on the good one.
+        assert ServeDaemon(tmp_path, breaker_seconds=0.01) \
+            .run(once=True) == 4
         status = queue.status()
-        assert [job["job"] for job in status["failed"]] == [bad]
+        assert [job["job"] for job in status["quarantined"]] == [bad]
+        assert status["quarantined"][0]["attempts"] == 3
         assert [job["job"] for job in status["done"]] == [good]
+        kinds = journal_kinds(queue)
+        assert kinds.count("job_retry") == 2
+        assert kinds.count("job_quarantined") == 1
+        assert queue.history_problems() == []
 
     def test_max_jobs_bounds_a_drain(self, tmp_path):
         queue = JobQueue(tmp_path)

@@ -1,0 +1,229 @@
+"""Multi-daemon fleet behaviour: leases, races, drain, cooperative stop.
+
+Complements tests/test_serve.py (single-daemon lifecycle) with the
+fleet-level contracts of :mod:`repro.runtime.serve`:
+
+* heartbeat lease renewal and loss detection (:class:`JobQueue`);
+* two *real* daemon processes sharing one queue run every job exactly
+  once, release every lease, and leave a well-formed ``serve.jsonl``;
+* graceful drain — ``repro serve --drain`` SIGTERMs a live polling
+  daemon, which exits 0 having requeued (or finished) its work;
+* the harness's ``stop_check`` hook raises
+  :class:`~repro.runtime.errors.RunInterrupted` at a step boundary with
+  everything already journaled, so the interrupted run resumes to the
+  same result as an uninterrupted one.
+
+Daemon processes use the fork start method (POSIX-only, like the
+journal-lock tests) so closures over tmp_path work without pickling.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.runtime import JobQueue, RunInterrupted, ServeDaemon
+from repro.runtime.serve import build_job_runner
+
+QUICK_SPEC = {"engine": "li17", "seed": 4}
+
+
+def _wait_for(predicate, timeout=30.0, interval=0.05):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestLeases:
+    def test_renew_extends_the_deadline(self, tmp_path):
+        queue = JobQueue(tmp_path, lease_seconds=5.0)
+        job_id = queue.submit(dict(QUICK_SPEC))
+        queue.claim()
+        first = queue.read_lease(job_id)
+        time.sleep(0.05)
+        assert queue.renew_lease(job_id) is True
+        renewed = queue.read_lease(job_id)
+        assert renewed["deadline"] > first["deadline"]
+        assert renewed["acquired"] == first["acquired"]
+
+    def test_renew_detects_takeover(self, tmp_path):
+        queue = JobQueue(tmp_path, daemon_id="original")
+        job_id = queue.submit(dict(QUICK_SPEC))
+        queue.claim()
+        # Another daemon overwrote the lease (it judged us dead).
+        taker = JobQueue(tmp_path, daemon_id="taker")
+        taker._write_lease(job_id)
+        assert queue.renew_lease(job_id) is False
+        # The displaced owner must not clobber the taker's lease.
+        assert queue.read_lease(job_id)["daemon"] == "taker"
+
+    def test_renew_without_a_lease_reports_loss(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job_id = queue.submit(dict(QUICK_SPEC))
+        queue.claim()
+        queue.release_lease(job_id)
+        assert queue.renew_lease(job_id) is False
+
+
+class TestStopCheck:
+    def test_interrupt_at_step_boundary_then_resume(self, tmp_path):
+        """Drain mid-run: journaled steps survive, resume finishes."""
+        reference = build_job_runner(dict(QUICK_SPEC))
+        ref_report = reference.run(tmp_path / "reference")
+
+        calls = {"n": 0}
+
+        def stop_after_one():
+            calls["n"] += 1
+            return "drain" if calls["n"] > 1 else None
+
+        interrupted = build_job_runner(dict(QUICK_SPEC),
+                                       stop_check=stop_after_one)
+        with pytest.raises(RunInterrupted) as excinfo:
+            interrupted.run(tmp_path / "run")
+        assert excinfo.value.reason == "drain"
+        assert excinfo.value.steps_done == 1
+
+        resumed = build_job_runner(dict(QUICK_SPEC))
+        report = resumed.run(tmp_path / "run", resume=True)
+        assert report.resumed_layers == 1
+        assert report.result.final_accuracy == \
+            ref_report.result.final_accuracy
+
+    def test_stop_check_none_reason_keeps_running(self, tmp_path):
+        runner = build_job_runner(dict(QUICK_SPEC),
+                                  stop_check=lambda: None)
+        report = runner.run(tmp_path / "run")
+        assert report.result.final_accuracy is not None
+
+
+def _racer(root, daemon_id):
+    try:
+        ServeDaemon(root, daemon_id=daemon_id, poll_seconds=0.05,
+                    health_seconds=0.1).run(once=True)
+    except Exception:  # noqa: BLE001 - the exit code is the assertion
+        os._exit(1)
+    os._exit(0)
+
+
+def _poller(root, daemon_id):
+    try:
+        ServeDaemon(root, daemon_id=daemon_id, poll_seconds=0.05,
+                    health_seconds=0.1).run()
+    except Exception:  # noqa: BLE001
+        os._exit(1)
+    os._exit(0)
+
+
+class TestFleet:
+    def test_two_daemons_run_every_job_exactly_once(self, tmp_path):
+        """The exactly-once contract under a real two-process race."""
+        queue = JobQueue(tmp_path, daemon_id="observer")
+        jobs = [queue.submit({"engine": "li17", "seed": seed})
+                for seed in range(6)]
+        ctx = multiprocessing.get_context("fork")
+        daemons = [ctx.Process(target=_racer, args=(tmp_path, f"d{i}"))
+                   for i in range(2)]
+        for daemon in daemons:
+            daemon.start()
+        for daemon in daemons:
+            daemon.join(timeout=600)
+        for daemon in daemons:
+            assert not daemon.is_alive(), "daemon hung"
+            assert daemon.exitcode == 0
+        status = queue.status()
+        assert sorted(row["job"] for row in status["done"]) == jobs
+        history = queue._job_history()
+        for job_id in jobs:
+            assert history[job_id]["claims"] == 1, \
+                f"{job_id} claimed {history[job_id]['claims']} times"
+        assert list((tmp_path / "active").glob("*.lease")) == []
+        assert queue.history_problems() == []
+        # Both daemons worked the queue (poll gap makes a 6/0 split
+        # vanishingly unlikely, and a dead daemon would show here).
+        owners = {history[job_id]["daemon"] for job_id in jobs}
+        assert owners <= {"d0", "d1"}
+
+    def test_cli_drain_stops_a_polling_daemon(self, tmp_path):
+        queue = JobQueue(tmp_path, daemon_id="observer")
+        queue.submit(dict(QUICK_SPEC))
+        ctx = multiprocessing.get_context("fork")
+        daemon = ctx.Process(target=_poller, args=(tmp_path, "lone"))
+        daemon.start()
+        try:
+            health = tmp_path / "health" / "lone.json"
+            assert _wait_for(health.exists), "daemon never wrote health"
+            assert cli_main(["serve", str(tmp_path), "--drain"]) == 0
+            daemon.join(timeout=120)
+            assert not daemon.is_alive(), "daemon ignored the drain"
+            assert daemon.exitcode == 0
+        finally:
+            if daemon.is_alive():
+                daemon.kill()
+                daemon.join()
+        info = json.loads(health.read_text())
+        assert info["state"] == "drained"
+        # Whatever the drain caught (idle, mid-job, or after the job
+        # finished), the queue must be consistent: nothing active,
+        # nothing leased, history well-formed.
+        assert queue.status()["active"] == []
+        assert list((tmp_path / "active").glob("*.lease")) == []
+        assert queue.history_problems() == []
+
+    def test_sigterm_requeues_a_mid_job_run(self, tmp_path):
+        """A daemon killed softly mid-job journals job_drained and the
+        requeued job resumes from the completed prefix."""
+        queue = JobQueue(tmp_path, daemon_id="observer")
+        job_id = queue.submit(dict(QUICK_SPEC))
+        ctx = multiprocessing.get_context("fork")
+        daemon = ctx.Process(target=_poller, args=(tmp_path, "victim"))
+        daemon.start()
+        try:
+            # SIGTERM as soon as the job is claimed, so the drain lands
+            # mid-run (li17 steps are fast, so it may still finish —
+            # both outcomes are legal; the invariants below are not).
+            assert _wait_for(
+                lambda: queue.read_lease(job_id) is not None
+                or queue.status()["done"]), "job never started"
+            os.kill(daemon.pid, signal.SIGTERM)
+            daemon.join(timeout=120)
+            assert not daemon.is_alive()
+            assert daemon.exitcode == 0
+        finally:
+            if daemon.is_alive():
+                daemon.kill()
+                daemon.join()
+        assert queue.status()["active"] == []
+        assert list((tmp_path / "active").glob("*.lease")) == []
+        assert queue.history_problems() == []
+        kinds = [r["record"] for r in queue.journal.read()]
+        if "job_drained" in kinds:
+            # Finish the requeued job and check it completes cleanly.
+            assert ServeDaemon(tmp_path, daemon_id="finisher") \
+                .run(once=True) == 1
+            assert queue.history_problems() == []
+        assert [row["job"] for row in queue.status()["done"]] == [job_id]
+
+
+class TestHealthSurface:
+    def test_health_file_reflects_the_run(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(dict(QUICK_SPEC))
+        daemon = ServeDaemon(tmp_path, daemon_id="solo")
+        assert daemon.run(once=True) == 1
+        info = json.loads(
+            (tmp_path / "health" / "solo.json").read_text())
+        assert info["daemon"] == "solo"
+        assert info["state"] == "stopped"
+        assert info["jobs"]["done"] == 1
+        assert info["pid"] == os.getpid()
+        rows = queue.daemons()
+        assert [row["daemon"] for row in rows] == ["solo"]
+        assert rows[0]["live"] is False  # stopped daemons are not live
