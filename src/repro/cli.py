@@ -53,7 +53,7 @@ from .data import make_cifar100_like, make_cub200_like
 from .analysis.report import write_experiments_markdown
 from .gpusim import (available_devices, estimate_energy, estimate_fps,
                      get_device)
-from .models import ResNet, available_models, build_model
+from .models import available_models, build_model
 from .pruning import profile_model
 from .runtime import (FallbackChain, JournalError, ResumableRunner,
                       ResumeMismatchError, StepBudget)
@@ -277,8 +277,9 @@ def _cmd_prune(args) -> int:
                              eval_batch=args.eval_batch, seed=args.seed,
                              eval=eval_options)
     if args.mode == "block":
-        if not isinstance(model, ResNet):
-            print("block mode requires a ResNet", file=sys.stderr)
+        if not hasattr(model, "droppable_blocks"):
+            print("block mode requires a model with droppable blocks "
+                  "(resnet*, googlenet, mobilenet)", file=sys.stderr)
             return 2
         engine = BlockHeadStart(model, task.train.images, task.train.labels,
                                 config)

@@ -109,7 +109,9 @@ class LayerAgent:
             executor = graph_compile(self.model, Tensor(self.images[:1]),
                                      fuse=self.config.eval.fused,
                                      mask_batch=self.config.eval.mask_batch)
-            executor.set_mask_unit(self.unit.conv, self.unit.bn)
+            executor.set_mask_unit(
+                self.unit.conv, self.unit.bn,
+                tied=[(tie.conv, tie.bn) for tie in self.unit.tied])
         except GraphTraceError as error:
             rec.counter("graph/fallbacks", 1, operational=True,
                         layer=self.unit.name, reason=str(error))

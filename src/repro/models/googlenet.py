@@ -1,0 +1,254 @@
+"""CIFAR-scale GoogLeNet (Inception) with multi-branch pruning support.
+
+Szegedy et al.'s Inception block runs four parallel branches — a 1x1
+convolution, a 1x1→3x3 pair, a 1x1→3x3→3x3 stack (the 5x5 path in its
+factorised form) and a 3x3 max-pool followed by a 1x1 projection — and
+concatenates their outputs along the channel axis.  This miniature
+variant keeps that topology at CIFAR scale: a 3x3 stem, three groups of
+Inception blocks with 2x2 max-pool transitions, global average pooling
+and a linear head.
+
+The concatenation makes channel pruning *coupled*: every consumer of a
+block's output sees the union of the four branch widths, so pruning one
+branch must slice exactly that branch's window out of each consumer's
+input dimension.  :meth:`GoogLeNet.prune_units` expresses this with a
+shared :class:`~repro.pruning.units.ConcatLayout` per block — the four
+branch-output units carry slotted consumers into the next block's entry
+convolutions (or the linear head) — plus three ordinary intra-branch
+units per block.
+
+Block-level pruning mirrors :class:`~repro.models.resnet.ResNet`: the
+stem width equals the first group's block output width, so every block
+whose input and output widths match can be dropped wholesale and
+:meth:`GoogLeNet.with_blocks` rebuilds the network from a keep pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.modules import (BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear,
+                          MaxPool2d, Module, ReLU, Sequential)
+from ..nn.tensor import Tensor
+from ..pruning.units import ConcatLayout, Consumer, ConvUnit
+
+__all__ = ["InceptionBlock", "GoogLeNet", "googlenet"]
+
+#: Per-group branch widths (n1, n3r, n3, n5r, n5, pp): the 1x1 branch,
+#: the 3x3 reduce/output, the double-3x3 reduce/output and the pool
+#: projection.  Block output width is ``n1 + n3 + n5 + pp`` — 32/48/64
+#: at multiplier 1 — and the stem matches group 1 so its blocks stay
+#: droppable.
+GROUP_BRANCHES = (
+    (8, 8, 12, 4, 6, 6),
+    (12, 12, 16, 6, 10, 10),
+    (16, 16, 24, 8, 12, 12),
+)
+
+
+def _scaled(widths: tuple[int, ...], multiplier: float) -> tuple[int, ...]:
+    return tuple(max(1, int(round(w * multiplier))) for w in widths)
+
+
+def _block_width(widths: tuple[int, ...]) -> int:
+    n1, _, n3, _, n5, pp = widths
+    return n1 + n3 + n5 + pp
+
+
+class InceptionBlock(Module):
+    """Four parallel branches concatenated along the channel axis."""
+
+    def __init__(self, in_channels: int, widths: tuple[int, ...],
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        n1, n3r, n3, n5r, n5, pp = widths
+        self.in_channels = in_channels
+        self.out_channels = n1 + n3 + n5 + pp
+        self.widths = tuple(widths)
+
+        self.b1_conv = Conv2d(in_channels, n1, 1, bias=False, rng=rng)
+        self.b1_bn = BatchNorm2d(n1)
+
+        self.b2_reduce = Conv2d(in_channels, n3r, 1, bias=False, rng=rng)
+        self.b2_reduce_bn = BatchNorm2d(n3r)
+        self.b2_conv = Conv2d(n3r, n3, 3, padding=1, bias=False, rng=rng)
+        self.b2_bn = BatchNorm2d(n3)
+
+        self.b3_reduce = Conv2d(in_channels, n5r, 1, bias=False, rng=rng)
+        self.b3_reduce_bn = BatchNorm2d(n5r)
+        self.b3_conv1 = Conv2d(n5r, n5, 3, padding=1, bias=False, rng=rng)
+        self.b3_conv1_bn = BatchNorm2d(n5)
+        self.b3_conv2 = Conv2d(n5, n5, 3, padding=1, bias=False, rng=rng)
+        self.b3_bn = BatchNorm2d(n5)
+
+        self.b4_pool = MaxPool2d(3, stride=1, padding=1)
+        self.b4_proj = Conv2d(in_channels, pp, 1, bias=False, rng=rng)
+        self.b4_bn = BatchNorm2d(pp)
+
+        self.relu = ReLU()
+
+    @property
+    def is_transition(self) -> bool:
+        """True when the block changes width and cannot be bypassed."""
+        return self.in_channels != self.out_channels
+
+    def entry_convs(self) -> tuple[Conv2d, Conv2d, Conv2d, Conv2d]:
+        """The four convolutions reading the block's (concat) input."""
+        return self.b1_conv, self.b2_reduce, self.b3_reduce, self.b4_proj
+
+    def forward(self, x):
+        b1 = self.relu(self.b1_bn(self.b1_conv(x)))
+        b2 = self.relu(self.b2_reduce_bn(self.b2_reduce(x)))
+        b2 = self.relu(self.b2_bn(self.b2_conv(b2)))
+        b3 = self.relu(self.b3_reduce_bn(self.b3_reduce(x)))
+        b3 = self.relu(self.b3_conv1_bn(self.b3_conv1(b3)))
+        b3 = self.relu(self.b3_bn(self.b3_conv2(b3)))
+        b4 = self.relu(self.b4_bn(self.b4_proj(self.b4_pool(x))))
+        return Tensor.cat([b1, b2, b3, b4], axis=1)
+
+
+class GoogLeNet(Module):
+    """Miniature Inception network: stem, three block groups, linear head."""
+
+    def __init__(self, blocks_per_group: tuple[int, int, int] = (2, 2, 2),
+                 num_classes: int = 10, in_channels: int = 3,
+                 width_multiplier: float = 1.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        if len(blocks_per_group) != 3 or any(n < 1 for n in blocks_per_group):
+            raise ValueError("blocks_per_group must be three positive counts")
+        self.blocks_per_group = tuple(int(n) for n in blocks_per_group)
+        self.num_classes = num_classes
+        self.width_multiplier = width_multiplier
+        self.group_widths = tuple(_scaled(w, width_multiplier)
+                                  for w in GROUP_BRANCHES)
+
+        stem_width = _block_width(self.group_widths[0])
+        self.conv1 = Conv2d(in_channels, stem_width, 3, padding=1,
+                            bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(stem_width)
+        self.relu = ReLU()
+
+        groups: list[Sequential] = []
+        channels = stem_width
+        for count, widths in zip(self.blocks_per_group, self.group_widths):
+            blocks = []
+            for _ in range(count):
+                blocks.append(InceptionBlock(channels, widths, rng=rng))
+                channels = blocks[-1].out_channels
+            groups.append(Sequential(*blocks))
+        self.group1, self.group2, self.group3 = groups
+        self.pool1 = MaxPool2d(2)
+        self.pool2 = MaxPool2d(2)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(channels, num_classes, rng=rng)
+
+    def groups(self) -> tuple[Sequential, Sequential, Sequential]:
+        return self.group1, self.group2, self.group3
+
+    def forward(self, x):
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.pool1(self.group1(out))
+        out = self.pool2(self.group2(out))
+        out = self.group3(out)
+        return self.fc(self.pool(out))
+
+    # -- block-level pruning ----------------------------------------------
+    def droppable_blocks(self) -> list[tuple[int, int]]:
+        """(group, block) indices of width-preserving (droppable) blocks."""
+        droppable = []
+        for g, group in enumerate(self.groups()):
+            for b, block in enumerate(group):
+                if not block.is_transition:
+                    droppable.append((g, b))
+        return droppable
+
+    def with_blocks(self, keep: list[list[bool]],
+                    rng: np.random.Generator | None = None) -> "GoogLeNet":
+        """Rebuild the network keeping only the selected blocks."""
+        groups = self.groups()
+        if len(keep) != 3 or any(len(k) != len(g)
+                                 for k, g in zip(keep, groups)):
+            raise ValueError("keep mask does not match the block layout")
+        counts = []
+        kept_blocks: list[list[InceptionBlock]] = []
+        for g, group in enumerate(groups):
+            survivors = [block for b, block in enumerate(group)
+                         if keep[g][b] or block.is_transition]
+            if not survivors:
+                survivors = [group[0]]
+            counts.append(len(survivors))
+            kept_blocks.append(survivors)
+
+        pruned = GoogLeNet(tuple(counts), num_classes=self.num_classes,
+                           in_channels=self.conv1.in_channels,
+                           width_multiplier=self.width_multiplier,
+                           rng=rng or np.random.default_rng())
+        pruned.conv1.load_state_dict(self.conv1.state_dict())
+        pruned.bn1.load_state_dict(self.bn1.state_dict())
+        pruned.fc.load_state_dict(self.fc.state_dict())
+        for new_group, survivors in zip(pruned.groups(), kept_blocks):
+            for new_block, old_block in zip(new_group, survivors):
+                new_block.load_state_dict(old_block.state_dict())
+        return pruned
+
+    # -- channel-level pruning --------------------------------------------
+    def prune_units(self) -> list[ConvUnit]:
+        """Seven units per block: three intra-branch, four concat-coupled.
+
+        The intra-branch reduces feed only their branch's next conv.  The
+        four branch-output convolutions share one
+        :class:`~repro.pruning.units.ConcatLayout` per block; their
+        consumers are the next block's four entry convolutions (each
+        sliced at the branch's slot) or, after the last block, the
+        linear head behind global average pooling.
+        """
+        units: list[ConvUnit] = []
+        flat: list[tuple[str, InceptionBlock]] = []
+        for g, group in enumerate(self.groups(), start=1):
+            for b, block in enumerate(group, start=1):
+                flat.append((f"group{g}.block{b}", block))
+        for index, (prefix, block) in enumerate(flat):
+            units.append(ConvUnit(
+                name=f"{prefix}.b2reduce",
+                conv=block.b2_reduce, bn=block.b2_reduce_bn,
+                consumers=[Consumer(block.b2_conv)]))
+            units.append(ConvUnit(
+                name=f"{prefix}.b3reduce",
+                conv=block.b3_reduce, bn=block.b3_reduce_bn,
+                consumers=[Consumer(block.b3_conv1)]))
+            units.append(ConvUnit(
+                name=f"{prefix}.b3conv1",
+                conv=block.b3_conv1, bn=block.b3_conv1_bn,
+                consumers=[Consumer(block.b3_conv2)]))
+
+            layout = ConcatLayout([block.b1_conv.out_channels,
+                                   block.b2_conv.out_channels,
+                                   block.b3_conv2.out_channels,
+                                   block.b4_proj.out_channels])
+            if index + 1 < len(flat):
+                readers = flat[index + 1][1].entry_convs()
+            else:
+                readers = (self.fc,)   # global average pooling: spatial=1
+            branch_units = (
+                ("b1", block.b1_conv, block.b1_bn),
+                ("b2conv", block.b2_conv, block.b2_bn),
+                ("b3conv2", block.b3_conv2, block.b3_bn),
+                ("pproj", block.b4_proj, block.b4_bn),
+            )
+            for slot, (tag, conv, bn) in enumerate(branch_units):
+                units.append(ConvUnit(
+                    name=f"{prefix}.{tag}",
+                    conv=conv, bn=bn,
+                    consumers=[Consumer(reader, layout=layout, slot=slot)
+                               for reader in readers]))
+        return units
+
+
+def googlenet(num_classes: int = 10, width_multiplier: float = 1.0,
+              rng: np.random.Generator | None = None) -> GoogLeNet:
+    """The default 6-block CIFAR-scale Inception network."""
+    return GoogLeNet((2, 2, 2), num_classes=num_classes,
+                     width_multiplier=width_multiplier, rng=rng)

@@ -1,0 +1,185 @@
+"""CIFAR-scale MobileNet (depthwise-separable) with coupled pruning.
+
+Howard et al.'s MobileNet factorises every convolution into a depthwise
+3x3 (one filter per channel, ``groups == channels``) followed by a
+pointwise 1x1 that mixes channels.  This miniature variant keeps that
+structure at CIFAR scale: a 3x3 stem, three groups of
+depthwise-separable blocks at widths 16/32/64 (times the multiplier)
+with stride-2 first blocks in groups two and three, global average
+pooling and a linear head.
+
+Depthwise convolutions make channel pruning *coupled* in the other
+direction from concat: a depthwise filter bank is indexed one-for-one
+by its input channels, so pruning a producer's feature maps must remove
+the same rows from the following depthwise conv (and its batch norm)
+while the next pointwise conv is an ordinary input-slice consumer.
+:meth:`MobileNet.prune_units` expresses this with a
+:class:`~repro.pruning.units.DepthwiseTie` on the stem and on every
+pointwise unit.
+
+Block-level pruning mirrors :class:`~repro.models.resnet.ResNet`:
+stride-1 width-preserving blocks can be dropped wholesale and
+:meth:`MobileNet.with_blocks` rebuilds the network from a keep pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.modules import (BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear,
+                          Module, ReLU, Sequential)
+from ..pruning.units import Consumer, ConvUnit, DepthwiseTie
+
+__all__ = ["DepthwiseSeparable", "MobileNet", "mobilenet"]
+
+
+class DepthwiseSeparable(Module):
+    """Depthwise 3x3 + BN + ReLU, then pointwise 1x1 + BN + ReLU."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.stride = stride
+        self.dw = Conv2d(in_channels, in_channels, 3, stride=stride,
+                         padding=1, bias=False, groups=in_channels, rng=rng)
+        self.dw_bn = BatchNorm2d(in_channels)
+        self.pw = Conv2d(in_channels, out_channels, 1, bias=False, rng=rng)
+        self.pw_bn = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+
+    @property
+    def is_transition(self) -> bool:
+        """True when the block changes shape and cannot be bypassed."""
+        return self.stride != 1 or self.in_channels != self.out_channels
+
+    def forward(self, x):
+        out = self.relu(self.dw_bn(self.dw(x)))
+        return self.relu(self.pw_bn(self.pw(out)))
+
+
+class MobileNet(Module):
+    """Miniature depthwise-separable network: stem, three groups, head."""
+
+    GROUP_WIDTH_FACTORS = (1, 2, 4)
+
+    def __init__(self, blocks_per_group: tuple[int, int, int] = (2, 2, 2),
+                 num_classes: int = 10, in_channels: int = 3,
+                 base_width: int = 16, width_multiplier: float = 1.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        if len(blocks_per_group) != 3 or any(n < 1 for n in blocks_per_group):
+            raise ValueError("blocks_per_group must be three positive counts")
+        self.blocks_per_group = tuple(int(n) for n in blocks_per_group)
+        self.num_classes = num_classes
+        width = max(1, int(round(base_width * width_multiplier)))
+        self.widths = tuple(width * f for f in self.GROUP_WIDTH_FACTORS)
+
+        self.conv1 = Conv2d(in_channels, self.widths[0], 3, padding=1,
+                            bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(self.widths[0])
+        self.relu = ReLU()
+
+        groups: list[Sequential] = []
+        channels = self.widths[0]
+        for group_index, (count, group_width) in enumerate(
+                zip(self.blocks_per_group, self.widths)):
+            blocks = []
+            for block_index in range(count):
+                stride = 2 if (group_index > 0 and block_index == 0) else 1
+                blocks.append(DepthwiseSeparable(channels, group_width,
+                                                 stride, rng=rng))
+                channels = group_width
+            groups.append(Sequential(*blocks))
+        self.group1, self.group2, self.group3 = groups
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(channels, num_classes, rng=rng)
+
+    def groups(self) -> tuple[Sequential, Sequential, Sequential]:
+        return self.group1, self.group2, self.group3
+
+    def forward(self, x):
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.group3(self.group2(self.group1(out)))
+        return self.fc(self.pool(out))
+
+    # -- block-level pruning ----------------------------------------------
+    def droppable_blocks(self) -> list[tuple[int, int]]:
+        """(group, block) indices of shape-preserving (droppable) blocks."""
+        droppable = []
+        for g, group in enumerate(self.groups()):
+            for b, block in enumerate(group):
+                if not block.is_transition:
+                    droppable.append((g, b))
+        return droppable
+
+    def with_blocks(self, keep: list[list[bool]],
+                    rng: np.random.Generator | None = None) -> "MobileNet":
+        """Rebuild the network keeping only the selected blocks."""
+        groups = self.groups()
+        if len(keep) != 3 or any(len(k) != len(g)
+                                 for k, g in zip(keep, groups)):
+            raise ValueError("keep mask does not match the block layout")
+        counts = []
+        kept_blocks: list[list[DepthwiseSeparable]] = []
+        for g, group in enumerate(groups):
+            survivors = [block for b, block in enumerate(group)
+                         if keep[g][b] or block.is_transition]
+            if not survivors:
+                survivors = [group[0]]
+            counts.append(len(survivors))
+            kept_blocks.append(survivors)
+
+        pruned = MobileNet(tuple(counts), num_classes=self.num_classes,
+                           in_channels=self.conv1.in_channels,
+                           base_width=self.widths[0], width_multiplier=1.0,
+                           rng=rng or np.random.default_rng())
+        pruned.conv1.load_state_dict(self.conv1.state_dict())
+        pruned.bn1.load_state_dict(self.bn1.state_dict())
+        pruned.fc.load_state_dict(self.fc.state_dict())
+        for new_group, survivors in zip(pruned.groups(), kept_blocks):
+            for new_block, old_block in zip(new_group, survivors):
+                new_block.load_state_dict(old_block.state_dict())
+        return pruned
+
+    # -- channel-level pruning --------------------------------------------
+    def prune_units(self) -> list[ConvUnit]:
+        """One unit per channel-producing conv: the stem and every pointwise.
+
+        A unit's channels feed the next block's depthwise conv, whose
+        filter bank is indexed one-for-one by them — expressed as a
+        :class:`~repro.pruning.units.DepthwiseTie` — while the next
+        pointwise conv is the ordinary input-slice consumer.  The final
+        pointwise feeds the linear head behind global average pooling.
+        """
+        blocks = [block for group in self.groups() for block in group]
+        units = []
+        names = ["stem"]
+        producers: list[tuple[Conv2d, BatchNorm2d]] = [(self.conv1, self.bn1)]
+        for g, group in enumerate(self.groups(), start=1):
+            for b, block in enumerate(group, start=1):
+                names.append(f"group{g}.block{b}.pw")
+                producers.append((block.pw, block.pw_bn))
+        for index, (name, (conv, bn)) in enumerate(zip(names, producers)):
+            if index < len(blocks):
+                consumer_block = blocks[index]
+                units.append(ConvUnit(
+                    name=name, conv=conv, bn=bn,
+                    tied=[DepthwiseTie(consumer_block.dw,
+                                       consumer_block.dw_bn)],
+                    consumers=[Consumer(consumer_block.pw)]))
+            else:
+                units.append(ConvUnit(
+                    name=name, conv=conv, bn=bn,
+                    consumers=[Consumer(self.fc)]))
+        return units
+
+
+def mobilenet(num_classes: int = 10, width_multiplier: float = 1.0,
+              rng: np.random.Generator | None = None) -> MobileNet:
+    """The default 6-block CIFAR-scale MobileNet."""
+    return MobileNet((2, 2, 2), num_classes=num_classes,
+                     width_multiplier=width_multiplier, rng=rng)

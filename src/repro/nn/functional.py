@@ -14,7 +14,8 @@ from numpy.lib.stride_tricks import sliding_window_view
 from .tensor import Tensor, as_tensor
 
 __all__ = [
-    "im2col", "col2im", "conv2d", "conv2d_masked", "linear", "max_pool2d",
+    "im2col", "col2im", "conv2d", "conv2d_masked", "conv2d_depthwise",
+    "conv2d_depthwise_masked", "depthwise_windows", "linear", "max_pool2d",
     "avg_pool2d",
     "global_avg_pool2d", "upsample_nearest", "batch_norm2d",
     "batch_norm2d_masked", "dropout",
@@ -155,6 +156,124 @@ def conv2d_masked(x: Tensor, weight: Tensor, bias: Tensor | None,
     return Tensor._make(out, parents, backward)
 
 
+def depthwise_windows(x: np.ndarray, kernel: int, stride: int,
+                      pad: int) -> np.ndarray:
+    """Sliding ``(N, C, oh, ow, kh, kw)`` windows of a zero-padded input.
+
+    Shared by the eager depthwise forward and the graph executor's
+    depthwise kernel so both reduce over the same elements in the same
+    order (their outputs are asserted bit-for-bit identical).
+    """
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    return sliding_window_view(x, (kernel, kernel),
+                               axis=(2, 3))[:, :, ::stride, ::stride]
+
+
+def conv2d_depthwise(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+                     stride: int = 1, padding: int = 0) -> Tensor:
+    """Depthwise 2-D convolution: one filter per input channel.
+
+    ``weight`` has shape (channels, 1, k, k); output channel ``c`` is
+    the correlation of input channel ``c`` with its own filter — the
+    ``groups == in_channels == out_channels`` case of grouped
+    convolution, which is all depthwise-separable stacks need.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    n, c, h, w = x.shape
+    f, per_group, kh, kw = weight.shape
+    if f != c or per_group != 1 or kh != kw:
+        raise ValueError(
+            f"depthwise conv2d needs weight shape ({c}, 1, k, k); "
+            f"got {tuple(weight.shape)}")
+    windows = depthwise_windows(x.data, kh, stride, padding)
+    out = np.einsum("nchwij,cij->nchw", windows, weight.data[:, 0])
+    if bias is not None:
+        out = out + bias.data.reshape(1, -1, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(g.sum(axis=(0, 2, 3)))
+        if weight.requires_grad:
+            gw = np.einsum("nchw,nchwij->cij", g, windows)
+            weight._accumulate(gw[:, None])
+        if x.requires_grad:
+            oh, ow = g.shape[2:]
+            hp, wp = h + 2 * padding, w + 2 * padding
+            dxp = np.zeros((n, c, hp, wp), dtype=g.dtype)
+            for i in range(kh):
+                for j in range(kw):
+                    dxp[:, :, i:i + stride * oh:stride,
+                        j:j + stride * ow:stride] += \
+                        g * weight.data[:, 0, i, j][None, :, None, None]
+            if padding:
+                dxp = dxp[:, :, padding:hp - padding, padding:wp - padding]
+            x._accumulate(dxp)
+
+    return Tensor._make(out, parents, backward)
+
+
+def conv2d_depthwise_masked(x: Tensor, weight: Tensor, bias: Tensor | None,
+                            keep: np.ndarray, stride: int = 1,
+                            padding: int = 0) -> Tensor:
+    """Depthwise convolution computing only the ``keep`` channels.
+
+    Companion of :func:`conv2d_masked` for depthwise layers: only the
+    kept channels' windows enter the reduction, dropped channels of the
+    output are exact zeros.  Kept channels reduce over the same elements
+    in the same order as :func:`conv2d_depthwise`, so they agree with
+    the dense result to rounding.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    keep = np.asarray(keep, dtype=np.intp)
+    n, c, h, w = x.shape
+    f, per_group, kh, kw = weight.shape
+    if f != c or per_group != 1:
+        raise ValueError(
+            f"depthwise conv2d needs weight shape ({c}, 1, k, k); "
+            f"got {tuple(weight.shape)}")
+    windows = depthwise_windows(np.ascontiguousarray(x.data[:, keep]),
+                                kh, stride, padding)
+    out_kept = np.einsum("nchwij,cij->nchw", windows, weight.data[keep, 0])
+    if bias is not None:
+        out_kept = out_kept + bias.data[keep].reshape(1, -1, 1, 1)
+    oh, ow = out_kept.shape[2:]
+    out = np.zeros((n, f, oh, ow), dtype=out_kept.dtype)
+    out[:, keep] = out_kept
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        g_kept = g[:, keep]
+        if bias is not None and bias.requires_grad:
+            gb = np.zeros_like(bias.data)
+            gb[keep] = g_kept.sum(axis=(0, 2, 3))
+            bias._accumulate(gb)
+        if weight.requires_grad:
+            gw = np.zeros_like(weight.data)
+            gw[keep, 0] = np.einsum("nchw,nchwij->cij", g_kept, windows)
+            weight._accumulate(gw)
+        if x.requires_grad:
+            hp, wp = h + 2 * padding, w + 2 * padding
+            dxp = np.zeros((n, keep.size, hp, wp), dtype=g.dtype)
+            for i in range(kh):
+                for j in range(kw):
+                    dxp[:, :, i:i + stride * oh:stride,
+                        j:j + stride * ow:stride] += \
+                        g_kept * weight.data[keep, 0, i, j][None, :, None, None]
+            if padding:
+                dxp = dxp[:, :, padding:hp - padding, padding:wp - padding]
+            dx = np.zeros_like(x.data)
+            dx[:, keep] = dxp
+            x._accumulate(dx)
+
+    return Tensor._make(out, parents, backward)
+
+
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     """Affine map ``x @ weight.T + bias`` with weight shape (out, in)."""
     out = x @ weight.T
@@ -166,25 +285,41 @@ def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
 # ----------------------------------------------------------------------
 # Pooling
 # ----------------------------------------------------------------------
-def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
-    """Max pooling over NCHW input (no padding)."""
+def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None,
+               padding: int = 0) -> Tensor:
+    """Max pooling over NCHW input.
+
+    Padding is filled with ``-inf`` so padded positions never win a
+    window (the convention of every deep-learning framework); with
+    ``padding < kernel`` each window overlaps the image, so the output
+    stays finite.
+    """
     stride = stride or kernel
     x = as_tensor(x)
     n, c, h, w = x.shape
-    oh = (h - kernel) // stride + 1
-    ow = (w - kernel) // stride + 1
+    oh = (h + 2 * padding - kernel) // stride + 1
+    ow = (w + 2 * padding - kernel) // stride + 1
 
-    windows = sliding_window_view(x.data, (kernel, kernel), axis=(2, 3))
+    data = x.data
+    if padding:
+        data = np.pad(data, ((0, 0), (0, 0), (padding, padding),
+                             (padding, padding)), constant_values=-np.inf)
+    windows = sliding_window_view(data, (kernel, kernel), axis=(2, 3))
     windows = windows[:, :, ::stride, ::stride].reshape(n, c, oh, ow, kernel * kernel)
     argmax = windows.argmax(axis=-1)
     out = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
 
     def backward(g: np.ndarray) -> None:
         ni, ci, ohi, owi = np.indices((n, c, oh, ow))
-        rows = ohi * stride + argmax // kernel
-        cols = owi * stride + argmax % kernel
+        rows = ohi * stride + argmax // kernel - padding
+        cols = owi * stride + argmax % kernel - padding
         dx = np.zeros_like(x.data)
-        np.add.at(dx, (ni, ci, rows, cols), g)
+        if padding:
+            valid = (rows >= 0) & (rows < h) & (cols >= 0) & (cols < w)
+            np.add.at(dx, (ni[valid], ci[valid], rows[valid], cols[valid]),
+                      g[valid])
+        else:
+            np.add.at(dx, (ni, ci, rows, cols), g)
         x._accumulate(dx)
 
     return Tensor._make(out, (x,), backward)

@@ -192,15 +192,21 @@ class Conv2d(Module):
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
                  stride: int = 1, padding: int = 0, bias: bool = True,
-                 rng: np.random.Generator | None = None):
+                 groups: int = 1, rng: np.random.Generator | None = None):
         super().__init__()
         rng = rng or np.random.default_rng()
+        if groups != 1 and not (groups == in_channels == out_channels):
+            raise ValueError(
+                "groups must be 1 (dense) or equal to both channel counts "
+                f"(depthwise); got groups={groups} for "
+                f"{in_channels}->{out_channels}")
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
-        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.groups = groups
+        shape = (out_channels, in_channels // groups, kernel_size, kernel_size)
         self.weight = Parameter(init.kaiming_normal(shape, rng))
         self.bias = Parameter(init.zeros((out_channels,))) if bias else None
 
@@ -211,15 +217,25 @@ class Conv2d(Module):
                     "compressed channel mask is eval-only; leaving "
                     "_eval_keep set while training would silently ignore "
                     "the mask")
+            if self.groups != 1:
+                return F.conv2d_depthwise_masked(
+                    x, self.weight, self.bias, self._eval_keep,
+                    stride=self.stride, padding=self.padding)
             return F.conv2d_masked(x, self.weight, self.bias,
                                    self._eval_keep, stride=self.stride,
                                    padding=self.padding)
+        if self.groups != 1:
+            return F.conv2d_depthwise(x, self.weight, self.bias,
+                                      stride=self.stride,
+                                      padding=self.padding)
         return F.conv2d(x, self.weight, self.bias,
                         stride=self.stride, padding=self.padding)
 
     def __repr__(self) -> str:
+        groups = f", g={self.groups}" if self.groups != 1 else ""
         return (f"Conv2d({self.in_channels}, {self.out_channels}, "
-                f"k={self.kernel_size}, s={self.stride}, p={self.padding})")
+                f"k={self.kernel_size}, s={self.stride}, "
+                f"p={self.padding}{groups})")
 
 
 class Linear(Module):
@@ -302,18 +318,21 @@ class Tanh(Module):
 
 
 class MaxPool2d(Module):
-    """Max pooling (no padding)."""
+    """Max pooling (``-inf``-padded when ``padding`` is set)."""
 
-    def __init__(self, kernel_size: int = 2, stride: int | None = None):
+    def __init__(self, kernel_size: int = 2, stride: int | None = None,
+                 padding: int = 0):
         super().__init__()
         self.kernel_size = kernel_size
         self.stride = stride or kernel_size
+        self.padding = padding
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.max_pool2d(x, self.kernel_size, self.stride)
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
 
     def __repr__(self) -> str:
-        return f"MaxPool2d(k={self.kernel_size}, s={self.stride})"
+        return (f"MaxPool2d(k={self.kernel_size}, s={self.stride}, "
+                f"p={self.padding})")
 
 
 class AvgPool2d(Module):

@@ -129,6 +129,17 @@ class Tensor:
     def zero_grad(self) -> None:
         self.grad = None
 
+    @staticmethod
+    def cat(tensors, axis: int = 0) -> "Tensor":
+        """Concatenate tensors along ``axis``.
+
+        A staticmethod alias of :func:`concat` kept on the class so the
+        static-graph tracer can hook concatenation at the class level:
+        model forwards call ``Tensor.cat(...)`` and pick up the active
+        hook at call time.
+        """
+        return concat(tensors, axis=axis)
+
     # ------------------------------------------------------------------
     # Graph construction
     # ------------------------------------------------------------------

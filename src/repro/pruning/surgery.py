@@ -12,6 +12,20 @@ set of feature maps from a :class:`~repro.pruning.units.ConvUnit`):
   slice (paper Figure 2: ``ΔN×C×k×k`` filters in Conv i plus
   ``M×ΔN×k×k`` channels in Conv i+1).
 
+Both mechanisms honour the coupled-channel annotations on the unit:
+
+* a :class:`~repro.pruning.units.Consumer` with a ``layout``/``slot``
+  is fed through a channel concatenation — surgery removes only the
+  unit's window of the consumer's input dimension (offset by the
+  widths of the earlier slots) and shrinks the shared layout so
+  sibling branches' offsets stay correct;
+* each :class:`~repro.pruning.units.DepthwiseTie` names a depthwise
+  convolution whose filters are indexed one-for-one by the unit's
+  mask — masking zeroes its batch-norm path (a depthwise filter over
+  an all-zero channel already outputs zero), surgery removes the
+  filter rows, the batch-norm statistics and the conv's channel
+  bookkeeping (``groups`` included).
+
 Masked evaluation and physical pruning are equivalent up to floating
 point: the test suite asserts their outputs agree.
 """
@@ -48,6 +62,12 @@ def channel_mask(unit: ConvUnit, keep_mask: np.ndarray):
     batch norm's affine parameters and running mean) makes the masked
     maps output exactly zero in eval mode, which is numerically identical
     to removing them as far as downstream layers are concerned.
+
+    Tied depthwise convolutions need the same treatment one layer down:
+    a depthwise filter over an all-zero input channel already outputs
+    zero, but its bias and batch norm would map that zero back to
+    ``β − μ·γ/σ``, so their parameters are zeroed for the dropped
+    channels too.
     """
     keep_mask = np.asarray(keep_mask).astype(bool)
     if keep_mask.shape != (unit.conv.out_channels,):
@@ -63,14 +83,22 @@ def channel_mask(unit: ConvUnit, keep_mask: np.ndarray):
         saved.append((owner, attr, data.copy()))
         return data
 
+    def zero_bn(bn: BatchNorm2d) -> None:
+        stash(bn, "weight")[drop] = 0.0
+        stash(bn, "bias")[drop] = 0.0
+        stash(bn, "running_mean")[drop] = 0.0
+
     conv_weight = stash(unit.conv, "weight")
     conv_weight[drop] = 0.0
     if unit.conv.bias is not None:
         stash(unit.conv, "bias")[drop] = 0.0
     if unit.bn is not None:
-        stash(unit.bn, "weight")[drop] = 0.0
-        stash(unit.bn, "bias")[drop] = 0.0
-        stash(unit.bn, "running_mean")[drop] = 0.0
+        zero_bn(unit.bn)
+    for tie in unit.tied:
+        if tie.conv.bias is not None:
+            stash(tie.conv, "bias")[drop] = 0.0
+        if tie.bn is not None:
+            zero_bn(tie.bn)
     try:
         yield
     finally:
@@ -93,6 +121,10 @@ def compressed_mask(unit: ConvUnit, keep_mask: np.ndarray):
     transient ``_eval_keep`` gate is set — so the mask is exactly
     reversible and nesting with surgery is safe.
 
+    Tied depthwise convolutions and their batch norms get the same gate:
+    their channels are the unit's channels, so the compressed forward
+    skips the dropped ones end-to-end.
+
     Downstream layers see the same zeros a :func:`channel_mask` pass
     produces, so the two maskers agree to floating-point rounding
     (~1e-10; asserted by ``tests/test_evalcache.py``).  Eval mode only:
@@ -103,59 +135,106 @@ def compressed_mask(unit: ConvUnit, keep_mask: np.ndarray):
         raise ValueError(
             f"mask length {keep_mask.size} != {unit.conv.out_channels} maps")
     kept = np.flatnonzero(keep_mask)
-    unit.conv._eval_keep = kept
+    gated = [unit.conv]
     if unit.bn is not None:
-        unit.bn._eval_keep = kept
+        gated.append(unit.bn)
+    for tie in unit.tied:
+        gated.append(tie.conv)
+        if tie.bn is not None:
+            gated.append(tie.bn)
+    for module in gated:
+        module._eval_keep = kept
     try:
         yield
     finally:
-        unit.conv._eval_keep = None
-        if unit.bn is not None:
-            unit.bn._eval_keep = None
+        for module in gated:
+            module._eval_keep = None
 
 
-def _shrink_consumer(consumer: Consumer, kept: np.ndarray) -> None:
+def _shrink_consumer(consumer: Consumer, kept: np.ndarray,
+                     width: int) -> None:
+    """Remove the unit's dropped channels from one consumer's input.
+
+    ``width`` is the unit's pre-surgery output width.  For a slotted
+    (concat-fed) consumer the unit's channels occupy the window
+    ``[offset, offset + width)`` of the consumer's input; a straight
+    consumer is the degenerate single-slot case with ``offset == 0``
+    and ``width`` covering the whole input.
+    """
     module = consumer.module
+    offset = consumer.layout.offset(consumer.slot) \
+        if consumer.layout is not None else 0
     if isinstance(module, Conv2d):
-        module.weight = Parameter(module.weight.data[:, kept])
-        module.in_channels = kept.size
+        channels = module.in_channels
     elif isinstance(module, Linear):
-        spatial = consumer.spatial
-        columns = (kept[:, None] * spatial + np.arange(spatial)[None]).reshape(-1)
-        module.weight = Parameter(module.weight.data[:, columns])
-        module.in_features = columns.size
+        channels = module.in_features // consumer.spatial
     else:
         raise TypeError(f"unsupported consumer type {type(module).__name__}")
+    keep_channels = np.concatenate([
+        np.arange(offset), offset + kept,
+        np.arange(offset + width, channels)])
+    if isinstance(module, Conv2d):
+        module.weight = Parameter(module.weight.data[:, keep_channels])
+        module.in_channels = keep_channels.size
+    else:
+        spatial = consumer.spatial
+        columns = (keep_channels[:, None] * spatial
+                   + np.arange(spatial)[None]).reshape(-1)
+        module.weight = Parameter(module.weight.data[:, columns])
+        module.in_features = columns.size
+
+
+def _shrink_bn(bn: BatchNorm2d, kept: np.ndarray) -> None:
+    bn.weight = Parameter(bn.weight.data[kept])
+    bn.bias = Parameter(bn.bias.data[kept])
+    bn.register_buffer("running_mean", bn.running_mean[kept].copy())
+    bn.register_buffer("running_var", bn.running_var[kept].copy())
+    bn.num_features = kept.size
 
 
 def prune_unit(unit: ConvUnit, keep_mask: np.ndarray) -> int:
     """Physically remove the unit's masked feature maps.
 
-    Returns the number of maps removed.  The unit's ``conv``/``bn`` and
-    all consumers are updated in place, so the owning model keeps working
-    with the smaller tensors immediately.
+    Returns the number of maps removed.  The unit's ``conv``/``bn``,
+    tied depthwise layers, all consumers and any shared
+    :class:`~repro.pruning.units.ConcatLayout` are updated in place, so
+    the owning model keeps working with the smaller tensors immediately.
     """
     kept = keep_indices(keep_mask)
     conv = unit.conv
     if kept.size == conv.out_channels:
         return 0
-    removed = conv.out_channels - kept.size
+    width = conv.out_channels
+    removed = width - kept.size
+
+    # Consumers first: their offsets read the pre-surgery layout widths.
+    for consumer in unit.consumers:
+        _shrink_consumer(consumer, kept, width)
+    shrunk: set[tuple[int, int]] = set()
+    for consumer in unit.consumers:
+        if consumer.layout is None:
+            continue
+        key = (id(consumer.layout), consumer.slot)
+        if key not in shrunk:
+            shrunk.add(key)
+            consumer.layout.shrink(consumer.slot, kept.size)
 
     conv.weight = Parameter(conv.weight.data[kept])
     if conv.bias is not None:
         conv.bias = Parameter(conv.bias.data[kept])
     conv.out_channels = kept.size
 
-    bn = unit.bn
-    if bn is not None:
-        bn.weight = Parameter(bn.weight.data[kept])
-        bn.bias = Parameter(bn.bias.data[kept])
-        bn.register_buffer("running_mean", bn.running_mean[kept].copy())
-        bn.register_buffer("running_var", bn.running_var[kept].copy())
-        bn.num_features = kept.size
+    if unit.bn is not None:
+        _shrink_bn(unit.bn, kept)
 
-    for consumer in unit.consumers:
-        _shrink_consumer(consumer, kept)
+    for tie in unit.tied:
+        dw = tie.conv
+        dw.weight = Parameter(dw.weight.data[kept])
+        if dw.bias is not None:
+            dw.bias = Parameter(dw.bias.data[kept])
+        dw.in_channels = dw.out_channels = dw.groups = kept.size
+        if tie.bn is not None:
+            _shrink_bn(tie.bn, kept)
     return removed
 
 

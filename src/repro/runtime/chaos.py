@@ -51,8 +51,13 @@ __all__ = ["ENGINE_KINDS", "SERVE_SCENARIOS", "run_chaos",
 #: (unfused): a crash under graph eval must resume to the dense
 #: baseline's exact journal, accuracy and weights, which is the
 #: executor's bit-exactness contract under fire.
+#: The ``headstart-googlenet`` column reruns the plain HeadStart
+#: scenario on a multi-branch (Inception) model whose concat-coupled
+#: units exercise the shared ConcatLayout bookkeeping through
+#: kill/resume.
 ENGINE_KINDS = ("headstart", "headstart-cached", "headstart-pool",
-                "headstart-graph", "block", "amc", "li17")
+                "headstart-graph", "headstart-googlenet", "block", "amc",
+                "li17")
 
 
 def _make_task(seed: int):
@@ -75,7 +80,8 @@ def _make_runner(kind: str, task, seed: int,
                         HeadStartPruner)
     from ..pruning import build_engine
 
-    model_name = "resnet20" if kind == "block" else "lenet"
+    model_name = {"block": "resnet20",
+                  "headstart-googlenet": "googlenet"}.get(kind, "lenet")
     model = build_model(model_name, num_classes=4, input_size=12,
                         width_multiplier=0.25,
                         rng=np.random.default_rng(seed))
@@ -95,7 +101,7 @@ def _make_runner(kind: str, task, seed: int,
                          graph=graphed and graph,
                          workers=2 if pooled else 0))
     if kind in ("headstart", "headstart-cached", "headstart-pool",
-                "headstart-graph"):
+                "headstart-graph", "headstart-googlenet"):
         engine = HeadStartPruner(
             model, task.train, task.test, config=config,
             finetune_config=FinetuneConfig(epochs=1, batch_size=24, lr=0.02,

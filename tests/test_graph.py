@@ -82,15 +82,19 @@ class TestRegistryEquivalence:
         mask = np.zeros(unit.num_maps, dtype=bool)
         mask[::2] = True
         executor = graph_compile(model, Tensor(images[:1]), fuse=False)
-        executor.set_mask_unit(unit.conv, unit.bn)
+        executor.set_mask_unit(unit.conv, unit.bn,
+                               tied=[(t.conv, t.bn) for t in unit.tied])
         with channel_mask(unit, mask):
             reference = _eager(model, images)
         got = executor.masked_logits(images, [mask])[0]
         assert np.array_equal(got, reference)
 
 
-#: Depth-diverse subset for the heavier masked/surgered scenarios.
-_SUBSET = ("lenet", "vgg11", "resnet20")
+#: Depth-diverse subset for the heavier masked/surgered scenarios —
+#: including both multi-branch models, so the mask-batch folded suffix
+#: is exercised across a concat boundary (googlenet's last unit is a
+#: branch feeding a shared ConcatLayout) and through a depthwise tie.
+_SUBSET = ("lenet", "vgg11", "resnet20", "googlenet", "mobilenet")
 
 
 class TestMaskedScenarios:
@@ -115,7 +119,11 @@ class TestMaskedScenarios:
         model = build_model(name, width_multiplier=_width(name), rng=rng,
                             **_GEOMETRY)
         model.eval()
-        unit = model.prune_units()[-1]
+        # A depthwise-tied unit when the model has one (mobilenet: the
+        # folded suffix must rezero the tied BN rows per copy), else the
+        # last unit (googlenet: a branch unit scored across its concat).
+        units = model.prune_units()
+        unit = next((u for u in units if u.tied), units[-1])
         masks = []
         for _ in range(3):
             mask = rng.random(unit.num_maps) > 0.4
@@ -127,7 +135,8 @@ class TestMaskedScenarios:
         folded = graph_compile(model, Tensor(images[:1]), fuse=fuse,
                                mask_batch=True)
         for executor in (per_mask, folded):
-            executor.set_mask_unit(unit.conv, unit.bn)
+            executor.set_mask_unit(unit.conv, unit.bn,
+                                   tied=[(t.conv, t.bn) for t in unit.tied])
         looped = per_mask.masked_logits(images, masks)
         batched = folded.masked_logits(images, masks)
         # Folding changes the GEMM's M dimension, which lets BLAS pick a

@@ -4,10 +4,11 @@ import numpy as np
 import networkx as nx
 import pytest
 
-from repro.models import (alexnet, lenet, resnet20, segnet, vgg11, vgg16)
+from repro.models import (alexnet, googlenet, lenet, mobilenet, resnet20,
+                          segnet, vgg11, vgg16)
 from repro.pruning import (build_pruning_graph, describe_graph, prune_unit,
                            validate_units)
-from repro.pruning.units import Consumer, ConvUnit
+from repro.pruning.units import ConcatLayout, Consumer, ConvUnit, DepthwiseTie
 from repro.nn import Conv2d
 
 
@@ -20,6 +21,8 @@ def all_models():
         vgg16(num_classes=4, input_size=12, width_multiplier=0.125, rng=rng()),
         resnet20(num_classes=4, width_multiplier=0.25, rng=rng()),
         segnet(num_classes=4, rng=rng()),
+        googlenet(num_classes=4, width_multiplier=0.25, rng=rng()),
+        mobilenet(num_classes=4, width_multiplier=0.5, rng=rng()),
     ]
 
 
@@ -62,6 +65,70 @@ class TestValidation:
         problems = validate_units([a, b])
         assert any("already consumed" in p for p in problems)
 
+    def test_slotted_sharing_through_one_layout_is_legal(self):
+        # Two branches feeding the same consumer through distinct slots
+        # of one shared ConcatLayout is the Inception wiring — it must
+        # validate clean, not trip the shared-consumer check.
+        rng = np.random.default_rng(0)
+        layout = ConcatLayout([8, 8])
+        shared = Conv2d(16, 4, 3, rng=rng)
+        a = ConvUnit("a", Conv2d(3, 8, 3, rng=rng),
+                     consumers=[Consumer(shared, layout=layout, slot=0)])
+        b = ConvUnit("b", Conv2d(3, 8, 3, rng=rng),
+                     consumers=[Consumer(shared, layout=layout, slot=1)])
+        assert validate_units([a, b]) == []
+
+    def test_detects_unknown_producer_for_layout_slot(self):
+        # A consumer referencing a layout slot no given unit produces is
+        # a clear error, not a silent pass (or a KeyError): the missing
+        # branch's surgery would mis-slice every consumer.
+        rng = np.random.default_rng(0)
+        layout = ConcatLayout([8, 8])
+        shared = Conv2d(16, 4, 3, rng=rng)
+        a = ConvUnit("a", Conv2d(3, 8, 3, rng=rng),
+                     consumers=[Consumer(shared, layout=layout, slot=0)])
+        problems = validate_units([a])
+        assert any("has no producing unit" in p and "unknown producer" in p
+                   for p in problems)
+
+    def test_detects_slot_width_mismatch(self):
+        rng = np.random.default_rng(0)
+        layout = ConcatLayout([4, 8])  # slot 0 is stale: producer has 8
+        shared = Conv2d(12, 4, 3, rng=rng)
+        a = ConvUnit("a", Conv2d(3, 8, 3, rng=rng),
+                     consumers=[Consumer(shared, layout=layout, slot=0)])
+        b = ConvUnit("b", Conv2d(3, 8, 3, rng=rng),
+                     consumers=[Consumer(shared, layout=layout, slot=1)])
+        problems = validate_units([a, b])
+        assert any("slot 0 records 4 channels" in p for p in problems)
+
+    def test_detects_slot_out_of_range(self):
+        rng = np.random.default_rng(0)
+        layout = ConcatLayout([8])
+        shared = Conv2d(8, 4, 3, rng=rng)
+        a = ConvUnit("a", Conv2d(3, 8, 3, rng=rng),
+                     consumers=[Consumer(shared, layout=layout, slot=3)])
+        problems = validate_units([a])
+        assert any("outside the 1-slot" in p for p in problems)
+
+    def test_detects_non_depthwise_tie(self):
+        rng = np.random.default_rng(0)
+        unit = ConvUnit("a", Conv2d(3, 8, 3, rng=rng),
+                        tied=[DepthwiseTie(Conv2d(8, 8, 3, rng=rng))],
+                        consumers=[Consumer(Conv2d(8, 4, 3, rng=rng))])
+        problems = validate_units([unit])
+        assert any("tied conv is not depthwise" in p for p in problems)
+
+    def test_detects_tie_width_mismatch(self):
+        rng = np.random.default_rng(0)
+        stale = Conv2d(4, 4, 3, groups=4, rng=rng)  # producer has 8
+        unit = ConvUnit("a", Conv2d(3, 8, 3, rng=rng),
+                        tied=[DepthwiseTie(stale)],
+                        consumers=[Consumer(Conv2d(8, 4, 3, rng=rng))])
+        problems = validate_units([unit])
+        assert any("tied depthwise conv has 4 filters" in p
+                   for p in problems)
+
 
 class TestGraph:
     def test_graph_structure_vgg(self):
@@ -89,3 +156,37 @@ class TestGraph:
         assert "conv1" in text
         assert "conv2" in text
         assert "maps]" in text
+
+    def test_concat_nodes_carry_slotted_branch_edges(self):
+        model = googlenet(num_classes=4, width_multiplier=0.25,
+                          rng=np.random.default_rng(0))
+        units = model.prune_units()
+        graph = build_pruning_graph(units)
+        concats = [n for n, d in graph.nodes(data=True)
+                   if d.get("kind") == "concat"]
+        assert len(concats) == 6  # one per Inception block
+        for node in concats:
+            slots = sorted(edge["slot"] for _, _, edge
+                           in graph.in_edges(node, data=True))
+            assert slots == [0, 1, 2, 3]
+            # The concat's width is the union of its branch widths.
+            branch_total = sum(graph.nodes[src]["maps"]
+                               for src, _ in graph.in_edges(node))
+            assert graph.nodes[node]["maps"] == branch_total
+        text = describe_graph(units)
+        assert "<concat>" in text
+        assert "(slot " in text
+
+    def test_depthwise_nodes_hang_off_their_producers(self):
+        model = mobilenet(num_classes=4, width_multiplier=0.5,
+                          rng=np.random.default_rng(0))
+        units = model.prune_units()
+        graph = build_pruning_graph(units)
+        depthwise = [n for n, d in graph.nodes(data=True)
+                     if d.get("kind") == "depthwise"]
+        assert len(depthwise) == 6  # one per DepthwiseSeparable block
+        for node in depthwise:
+            (producer, _, edge), = graph.in_edges(node, data=True)
+            assert edge.get("tied") is True
+            assert graph.nodes[node]["maps"] == graph.nodes[producer]["maps"]
+        assert "<depthwise>" in describe_graph(units)

@@ -6,8 +6,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.nn import Tensor, no_grad
-from repro.models import alexnet, lenet, resnet20, vgg11
-from repro.pruning import channel_mask, profile_model, prune_unit
+from repro.nn.modules import (BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear,
+                              Module, ReLU)
+from repro.models import GoogLeNet, MobileNet, alexnet, lenet, resnet20, vgg11
+from repro.models.googlenet import InceptionBlock
+from repro.models.mobilenet import DepthwiseSeparable
+from repro.pruning import (channel_mask, profile_model, prune_unit,
+                           validate_units)
+from repro.pruning.units import ConcatLayout, Consumer, ConvUnit, DepthwiseTie
 
 
 def build(name):
@@ -21,10 +27,16 @@ def build(name):
                      rng=rng)
     if name == "resnet20":
         return resnet20(num_classes=4, width_multiplier=0.25, rng=rng)
+    if name == "googlenet":
+        return GoogLeNet((1, 1, 1), num_classes=4, width_multiplier=0.5,
+                         rng=rng)
+    if name == "mobilenet":
+        return MobileNet((1, 1, 1), num_classes=4, width_multiplier=0.5,
+                         rng=rng)
     raise ValueError(name)
 
 
-MODELS = ("lenet", "alexnet", "vgg11", "resnet20")
+MODELS = ("lenet", "alexnet", "vgg11", "resnet20", "googlenet", "mobilenet")
 
 
 @pytest.mark.parametrize("name", MODELS)
@@ -85,6 +97,154 @@ def test_random_mask_surgery_keeps_model_runnable(mask_bits, keep_floor):
         out = model(x)
     assert out.shape == (2, 4)
     assert np.all(np.isfinite(out.data))
+
+
+# -- multi-branch couplings: random widths, random masks -------------------
+#
+# The concat and depthwise couplings are exercised on purpose-built tiny
+# networks whose branch widths hypothesis draws freely, so the slot
+# offset arithmetic and the tied-row indexing are tested far off the
+# registry models' fixed width ratios.
+
+class _TwoBlockInception(Module):
+    """Two stacked Inception blocks with arbitrary branch widths."""
+
+    def __init__(self, widths1, widths2, rng):
+        super().__init__()
+        self.block1 = InceptionBlock(3, widths1, rng=rng)
+        self.block2 = InceptionBlock(self.block1.out_channels, widths2,
+                                     rng=rng)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(self.block2.out_channels, 3, rng=rng)
+
+    def forward(self, x):
+        return self.fc(self.pool(self.block2(self.block1(x))))
+
+
+def _inception_units(model):
+    """The GoogLeNet wiring for the two-block toy: 3 intra + 4 slotted
+    units per block; block1's branches feed block2's entry convs, and
+    block2's branches feed the linear head."""
+    units = []
+    for prefix, block in (("blk1", model.block1), ("blk2", model.block2)):
+        units.append(ConvUnit(f"{prefix}.b2reduce", block.b2_reduce,
+                              block.b2_reduce_bn,
+                              consumers=[Consumer(block.b2_conv)]))
+        units.append(ConvUnit(f"{prefix}.b3reduce", block.b3_reduce,
+                              block.b3_reduce_bn,
+                              consumers=[Consumer(block.b3_conv1)]))
+        units.append(ConvUnit(f"{prefix}.b3conv1", block.b3_conv1,
+                              block.b3_conv1_bn,
+                              consumers=[Consumer(block.b3_conv2)]))
+    for prefix, block, readers in (
+            ("blk1", model.block1, model.block2.entry_convs()),
+            ("blk2", model.block2, (model.fc,))):
+        layout = ConcatLayout([block.b1_conv.out_channels,
+                               block.b2_conv.out_channels,
+                               block.b3_conv2.out_channels,
+                               block.b4_proj.out_channels])
+        branches = ((block.b1_conv, block.b1_bn),
+                    (block.b2_conv, block.b2_bn),
+                    (block.b3_conv2, block.b3_bn),
+                    (block.b4_proj, block.b4_bn))
+        for slot, (conv, bn) in enumerate(branches):
+            units.append(ConvUnit(
+                f"{prefix}.branch{slot}", conv, bn,
+                consumers=[Consumer(reader, layout=layout, slot=slot)
+                           for reader in readers]))
+    return units
+
+
+_BRANCH_WIDTHS = st.tuples(*[st.integers(min_value=1, max_value=4)] * 6)
+
+
+@settings(max_examples=12, deadline=None)
+@given(widths1=_BRANCH_WIDTHS, widths2=_BRANCH_WIDTHS,
+       seed=st.integers(min_value=0, max_value=2 ** 16 - 1))
+def test_random_branch_widths_surgery_matches_mask(widths1, widths2, seed):
+    """For arbitrary branch widths and a random mask on a random unit,
+    the surgered forward equals the masked forward within 1e-10."""
+    def fresh():
+        return _TwoBlockInception(widths1, widths2, np.random.default_rng(3))
+
+    draw = np.random.default_rng(seed)
+    assert validate_units(_inception_units(fresh())) == []
+    n_units = len(_inception_units(fresh()))
+    index = int(draw.integers(n_units))
+    masked_model, pruned_model = fresh(), fresh()
+    unit_m = _inception_units(masked_model)[index]
+    unit_p = _inception_units(pruned_model)[index]
+    mask = draw.random(unit_m.num_maps) > 0.5
+    if not mask.any():
+        mask[int(draw.integers(unit_m.num_maps))] = True
+    x = draw.normal(size=(2, 3, 8, 8))
+    masked_model.eval(), pruned_model.eval()
+    with no_grad():
+        with channel_mask(unit_m, mask):
+            masked_out = masked_model(Tensor(x)).data.copy()
+        prune_unit(unit_p, mask)
+        pruned_out = pruned_model(Tensor(x)).data
+    assert np.max(np.abs(masked_out - pruned_out)) <= 1e-10
+    assert validate_units(_inception_units(pruned_model)) == []
+
+
+class _DepthwiseChain(Module):
+    """Stem conv feeding a depthwise-separable block, then a head."""
+
+    def __init__(self, width, out_width, rng):
+        super().__init__()
+        self.conv1 = Conv2d(3, width, 3, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(width)
+        self.relu = ReLU()
+        self.block = DepthwiseSeparable(width, out_width, rng=rng)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(out_width, 3, rng=rng)
+
+    def forward(self, x):
+        out = self.relu(self.bn1(self.conv1(x)))
+        return self.fc(self.pool(self.block(out)))
+
+
+def _depthwise_units(model):
+    return [
+        ConvUnit("stem", model.conv1, model.bn1,
+                 tied=[DepthwiseTie(model.block.dw, model.block.dw_bn)],
+                 consumers=[Consumer(model.block.pw)]),
+        ConvUnit("pw", model.block.pw, model.block.pw_bn,
+                 consumers=[Consumer(model.fc)]),
+    ]
+
+
+@settings(max_examples=12, deadline=None)
+@given(width=st.integers(min_value=2, max_value=10),
+       out_width=st.integers(min_value=1, max_value=8),
+       seed=st.integers(min_value=0, max_value=2 ** 16 - 1))
+def test_random_depthwise_widths_surgery_matches_mask(width, out_width,
+                                                      seed):
+    """For arbitrary channel widths and a random mask on either unit of
+    a depthwise-separable chain, surgery equals masking within 1e-10 —
+    the tie must shrink the depthwise filter bank row-for-row."""
+    def fresh():
+        return _DepthwiseChain(width, out_width, np.random.default_rng(5))
+
+    draw = np.random.default_rng(seed)
+    assert validate_units(_depthwise_units(fresh())) == []
+    index = int(draw.integers(2))
+    masked_model, pruned_model = fresh(), fresh()
+    unit_m = _depthwise_units(masked_model)[index]
+    unit_p = _depthwise_units(pruned_model)[index]
+    mask = draw.random(unit_m.num_maps) > 0.5
+    if not mask.any():
+        mask[int(draw.integers(unit_m.num_maps))] = True
+    x = draw.normal(size=(2, 3, 8, 8))
+    masked_model.eval(), pruned_model.eval()
+    with no_grad():
+        with channel_mask(unit_m, mask):
+            masked_out = masked_model(Tensor(x)).data.copy()
+        prune_unit(unit_p, mask)
+        pruned_out = pruned_model(Tensor(x)).data
+    assert np.max(np.abs(masked_out - pruned_out)) <= 1e-10
+    assert validate_units(_depthwise_units(pruned_model)) == []
 
 
 @settings(max_examples=15, deadline=None)
