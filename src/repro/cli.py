@@ -25,7 +25,13 @@ Subcommands cover the experiment lifecycle on synthetic tasks:
   enqueues spec files, ``--status`` shows per-job progress from the
   run journals, and daemon mode claims and runs jobs (resuming any a
   dead daemon left behind); per-job runs shard reward evaluations
-  across the supervised process pool (``--workers``).
+  across the supervised process pool (``--workers``);
+* ``fleet``   — fleet-wide observability over a serve queue root:
+  ``status [--watch]`` (merged gauges + daemon health), ``tail``
+  (merged event timeline), ``report`` (per-daemon swimlane HTML/MD),
+  ``slo --check`` (multi-window burn-rate gate), ``export --prom``
+  (Prometheus text format) and ``trace`` (per-daemon Chrome trace of
+  one job across takeovers).
 
 Every command is deterministic under ``--seed``; ``train``, ``prune``
 and ``fps`` accept ``--metrics-dir`` to stream observability events
@@ -423,7 +429,15 @@ def _cmd_serve(args) -> int:
         table = Table(["STATE", "JOB", "ATT", "AGE", "DAEMON", "STEPS",
                        "RUN"],
                       title=f"queue at {args.root}")
-        for state, jobs in queue.status().items():
+        try:
+            # status() joins serve.jsonl with run journals; both readers
+            # drop a torn tail, but a journal corrupted mid-file should
+            # be a typed one-liner, not a traceback.
+            snapshot = queue.status()
+        except JournalError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        for state, jobs in snapshot.items():
             for job in jobs:
                 run = "complete" if job["complete"] else "in progress"
                 if job.get("degraded"):
@@ -572,6 +586,138 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _fleet_slo_result(view, slo_path=None):
+    """Evaluated SLOs for a fleet view, or ``None`` when none declared.
+
+    An explicit ``--slo`` path must load (errors propagate); the
+    implicit ``<root>/slo.json`` is only used when present.
+    """
+    from pathlib import Path
+
+    if slo_path is None:
+        implicit = Path(view.root) / obs.SLO_FILENAME
+        if not implicit.exists():
+            return None
+        slo_path = implicit
+    return obs.evaluate_slo(obs.load_slo(slo_path), view.slo_samples())
+
+
+def _cmd_fleet_status(args) -> int:
+    import time as _time
+
+    shown = 0
+    while True:
+        view = obs.FleetView(args.root)
+        print(obs.render_status(view.snapshot(),
+                                slo_result=_fleet_slo_result(view,
+                                                             args.slo)))
+        shown += 1
+        if not args.watch or (args.count is not None and
+                              shown >= args.count):
+            return 0
+        print()
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _cmd_fleet_tail(args) -> int:
+    import os
+    import time as _time
+
+    seen: set[tuple] = set()
+
+    def emit_new() -> None:
+        view = obs.FleetView(args.root)
+        for row in view.events():
+            key = (row["ts"], row["kind"], row.get("job"),
+                   row.get("daemon"))
+            if key in seen:
+                continue
+            seen.add(key)
+            print(obs.format_event(row), flush=True)
+
+    try:
+        emit_new()
+        while args.follow:
+            _time.sleep(args.interval)
+            emit_new()
+    except KeyboardInterrupt:
+        pass
+    except BrokenPipeError:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+def _cmd_fleet_report(args) -> int:
+    view = obs.FleetView(args.root)
+    out = args.out or str(
+        view.root / f"fleet-report.{'md' if args.format == 'md' else 'html'}")
+    path = obs.write_fleet_report(
+        args.root, out, fmt=args.format,
+        slo_result=_fleet_slo_result(view, args.slo))
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_fleet_slo(args) -> int:
+    from pathlib import Path
+
+    view = obs.FleetView(args.root)
+    slo_path = args.file or Path(args.root) / obs.SLO_FILENAME
+    result = obs.evaluate_slo(obs.load_slo(slo_path), view.slo_samples())
+    print(obs.render_slo(result))
+    if args.check and not result["ok"]:
+        return 1
+    return 0
+
+
+def _cmd_fleet_export(args) -> int:
+    view = obs.FleetView(args.root)
+    text = obs.write_prometheus(view.snapshot(), args.prom,
+                                slo_result=_fleet_slo_result(view,
+                                                             args.slo))
+    samples = sum(1 for line in text.splitlines()
+                  if line and not line.startswith("#"))
+    print(f"wrote {args.prom} ({samples} samples, schema ok)")
+    return 0
+
+
+def _cmd_fleet_trace(args) -> int:
+    from pathlib import Path
+
+    view = obs.FleetView(args.root)
+    run_dir = Path(args.root) / "runs" / args.job
+    events = obs.load_metrics(run_dir)
+    out = args.out or str(run_dir / "fleet.trace.json")
+    trace = obs.write_chrome_trace(events, out, process_name=args.job,
+                                   split_origins=True)
+    problems = obs.validate_chrome_trace(trace)
+    if problems:
+        for problem in problems:
+            print(f"trace violation: {problem}", file=sys.stderr)
+        return 1
+    origins = sorted({record.get("origin") for record in events
+                      if record.get("origin")})
+    traces = sorted({record.get("trace_id") for record in events
+                     if record.get("trace_id")})
+    print(f"wrote {out} ({len(trace['traceEvents'])} trace events, "
+          f"{len(origins)} daemon row(s), "
+          f"trace id(s): {', '.join(traces) or '-'})")
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    """Dispatch ``repro fleet <sub>`` with typed one-line errors."""
+    try:
+        return args.fleet_handler(args)
+    except (obs.FleetError, obs.SLOError, obs.MetricsError,
+            JournalError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
 def _render_metrics_summary(summary: dict, events: list | None = None,
                             top: int = 5) -> str:
     """Human-readable tables for a metrics-dir aggregate.
@@ -678,6 +824,12 @@ def _cmd_metrics(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     if args.check:
+        if not events:
+            # An empty stream passing an integrity gate would bless a
+            # run that recorded nothing; fail it like a missing stream.
+            print(f"error: empty metrics stream at {args.dir}",
+                  file=sys.stderr)
+            return 2
         problems = obs.validate_events(events)
         if problems:
             for problem in problems:
@@ -894,6 +1046,78 @@ def build_parser() -> argparse.ArgumentParser:
                        help="consecutive distinct failed jobs that pause "
                             "claiming with exponential backoff")
     serve.set_defaults(handler=_cmd_serve)
+
+    fleet = commands.add_parser(
+        "fleet", help="fleet-wide observability over a serve queue: "
+                      "merged status, live tail, swimlane report, SLO "
+                      "burn rates, Prometheus export")
+    fleet_sub = fleet.add_subparsers(dest="fleet_cmd", required=True)
+
+    fleet_root = argparse.ArgumentParser(add_help=False)
+    fleet_root.add_argument("root", help="serve queue directory")
+    fleet_slo = argparse.ArgumentParser(add_help=False)
+    fleet_slo.add_argument("--slo", default=None, metavar="FILE",
+                           help="SLO objectives file (default: "
+                                "<root>/slo.json when present)")
+
+    fstatus = fleet_sub.add_parser(
+        "status", parents=[fleet_root, fleet_slo],
+        help="merged fleet snapshot: queue gauges, latency percentiles, "
+             "per-daemon health, SLO burn state")
+    fstatus.add_argument("--watch", action="store_true",
+                         help="refresh continuously until interrupted")
+    fstatus.add_argument("--interval", type=float, default=2.0,
+                         help="--watch refresh period (default 2s)")
+    fstatus.add_argument("--count", type=int, default=None,
+                         help="--watch: stop after this many refreshes")
+    fstatus.set_defaults(handler=_cmd_fleet, fleet_handler=_cmd_fleet_status)
+
+    ftail = fleet_sub.add_parser(
+        "tail", parents=[fleet_root],
+        help="merged event timeline across every daemon and run "
+             "(torn-line tolerant)")
+    ftail.add_argument("--follow", action="store_true",
+                       help="keep polling for new events until interrupted")
+    ftail.add_argument("--interval", type=float, default=1.0,
+                       help="--follow poll period (default 1s)")
+    ftail.set_defaults(handler=_cmd_fleet, fleet_handler=_cmd_fleet_tail)
+
+    freport = fleet_sub.add_parser(
+        "report", parents=[fleet_root, fleet_slo],
+        help="self-contained HTML/Markdown fleet report with per-daemon "
+             "swimlane timeline")
+    freport.add_argument("--format", choices=("html", "md"), default="html")
+    freport.add_argument("--out", default=None,
+                         help="output file (default "
+                              "<root>/fleet-report.<fmt>)")
+    freport.set_defaults(handler=_cmd_fleet, fleet_handler=_cmd_fleet_report)
+
+    fslo = fleet_sub.add_parser(
+        "slo", parents=[fleet_root],
+        help="evaluate declared objectives with multi-window burn rates")
+    fslo.add_argument("--file", default=None,
+                      help="objectives file (default <root>/slo.json)")
+    fslo.add_argument("--check", action="store_true",
+                      help="exit 1 when any objective is burning "
+                           "(CI gate); exit 2 on invalid SLO files")
+    fslo.set_defaults(handler=_cmd_fleet, fleet_handler=_cmd_fleet_slo)
+
+    fexport = fleet_sub.add_parser(
+        "export", parents=[fleet_root, fleet_slo],
+        help="write the fleet snapshot in Prometheus text format")
+    fexport.add_argument("--prom", required=True, metavar="OUT",
+                         help="output .prom file (schema-validated)")
+    fexport.set_defaults(handler=_cmd_fleet, fleet_handler=_cmd_fleet_export)
+
+    ftrace = fleet_sub.add_parser(
+        "trace", parents=[fleet_root],
+        help="Chrome trace of one job's stitched metrics stream, one "
+             "process row per daemon incarnation")
+    ftrace.add_argument("job", help="job id (runs/<job>/ under the root)")
+    ftrace.add_argument("--out", default=None,
+                        help="output file (default "
+                             "<root>/runs/<job>/fleet.trace.json)")
+    ftrace.set_defaults(handler=_cmd_fleet, fleet_handler=_cmd_fleet_trace)
 
     report = commands.add_parser(
         "report", help="run report from a journaled run dir; without one, "

@@ -21,7 +21,13 @@ Deeper tooling layered on the same event stream:
   ``chrome://tracing`` / Perfetto;
 * :mod:`repro.obs.report` — self-contained HTML/Markdown run reports
   joining metrics with the runtime journal;
-* :mod:`repro.obs.diff` — regression-gating diffs of two runs.
+* :mod:`repro.obs.diff` — regression-gating diffs of two runs;
+* :mod:`repro.obs.fleet` — fleet-wide view over a serve queue root
+  (merged event timeline, gauges, per-daemon swimlane reports);
+* :mod:`repro.obs.slo` — declarative SLOs with multi-window burn-rate
+  evaluation (``repro fleet slo --check``);
+* :mod:`repro.obs.promexport` — Prometheus text-format export of the
+  fleet snapshot, with a grammar validator.
 
 See ``docs/OBSERVABILITY.md`` for the event schema.
 """
@@ -40,6 +46,13 @@ from .report import (collect_report_data, render_html, render_markdown,
                      write_run_report)
 from .diff import (DiffResult, diff_bench_reports, diff_metrics_dirs,
                    diff_sources)
+from .fleet import (FleetError, FleetView, daemon_swimlanes, format_event,
+                    render_fleet_html, render_fleet_markdown, render_status,
+                    write_fleet_report)
+from .slo import (SLO_FILENAME, SLO_METRICS, SLOError, evaluate_slo,
+                  load_slo, render_slo)
+from .promexport import (PROM_PREFIX, render_prometheus,
+                         validate_prometheus, write_prometheus)
 # Imported last: profile depends on .recorder being fully initialised.
 from .profile import (ModuleProfiler, label_modules, module_name,
                       profiler_active)
@@ -57,5 +70,12 @@ __all__ = [
     "collect_report_data", "render_markdown", "render_html",
     "write_run_report",
     "DiffResult", "diff_metrics_dirs", "diff_bench_reports", "diff_sources",
+    "FleetError", "FleetView", "daemon_swimlanes", "format_event",
+    "render_status", "render_fleet_markdown", "render_fleet_html",
+    "write_fleet_report",
+    "SLOError", "SLO_FILENAME", "SLO_METRICS", "load_slo", "evaluate_slo",
+    "render_slo",
+    "PROM_PREFIX", "render_prometheus", "validate_prometheus",
+    "write_prometheus",
     "ModuleProfiler", "label_modules", "module_name", "profiler_active",
 ]

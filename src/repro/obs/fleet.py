@@ -1,0 +1,689 @@
+"""Fleet-wide observability over a serve queue root.
+
+A running fleet leaves its whole story on disk under one directory:
+``serve.jsonl`` (queue transitions, every record timestamped and job-
+tagged), ``health/<daemon>.json`` (per-daemon live status), active
+lease files, and one ``runs/<job>/`` directory per job with its journal
+and trace-stamped ``metrics.jsonl``.  :class:`FleetView` joins those
+sources — read-only, torn-line tolerant — into:
+
+* a **merged event timeline** (``events()``): queue transitions plus
+  per-run mark events, each row normalised to
+  ``{ts, kind, job, daemon, trace_id, detail}`` and sorted on one
+  shared clock (``repro fleet tail``);
+* **derived gauges** (``gauges()``): queue depth, in-flight, per-state
+  counts, claim latency and job wall-time percentiles, retry /
+  recovery / drain / quarantine / lease-loss / breaker totals,
+  degraded-step counts, live-daemon counts (``repro fleet status``);
+* **SLO samples** (``slo_samples()``): the ``(ts, value)`` series the
+  burn-rate evaluator (:mod:`repro.obs.slo`) and the Prometheus
+  exporter (:mod:`repro.obs.promexport`) consume.
+
+Everything is computed from files; a FleetView needs no daemon alive
+and never writes into the queue, so it is safe to point at a fleet
+mid-chaos (daemons being SIGKILLed, journals being appended, health
+files being replaced) — exactly the moment an operator needs it.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from pathlib import Path
+
+from .sink import METRICS_FILENAME, read_events_report
+
+__all__ = ["FleetError", "FleetView", "percentile", "daemon_swimlanes",
+           "format_event", "render_status", "render_fleet_markdown",
+           "render_fleet_html", "write_fleet_report"]
+
+#: serve.jsonl record kinds that return a job to ``pending`` (the
+#: moments a queue-wait clock starts ticking).
+_PENDING_KINDS = ("job_submitted", "job_retry", "job_recovered",
+                  "job_drained")
+
+#: record kinds that end a daemon's ownership of a job (the moments a
+#: swimlane interval closes).
+_SETTLE_KINDS = ("job_complete", "job_retry", "job_quarantined",
+                 "job_drained", "job_lease_lost")
+
+
+class FleetError(RuntimeError):
+    """The queue root is missing or not a serve queue."""
+
+
+def percentile(values, q: float) -> float | None:
+    """Linear-interpolated percentile of a sequence (None when empty)."""
+    data = sorted(values)
+    if not data:
+        return None
+    if len(data) == 1:
+        return float(data[0])
+    rank = (len(data) - 1) * (q / 100.0)
+    low = int(rank)
+    high = min(low + 1, len(data) - 1)
+    frac = rank - low
+    return float(data[low] * (1.0 - frac) + data[high] * frac)
+
+
+def _summary(values) -> dict:
+    """count/p50/p99/max/sum summary of a value list (zeros when empty)."""
+    values = list(values)
+    return {"count": len(values),
+            "p50": percentile(values, 50.0),
+            "p99": percentile(values, 99.0),
+            "max": max(values) if values else None,
+            "sum": float(sum(values))}
+
+
+class FleetView:
+    """Read-only join of one serve queue's on-disk observability.
+
+    Parameters
+    ----------
+    root:
+        The queue directory (the ``repro serve`` root).  Raising
+        :class:`FleetError` on a directory that is not a queue keeps
+        ``repro fleet`` from silently reporting an empty fleet for a
+        typo'd path.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        if not (self.root / "serve.jsonl").exists() \
+                and not (self.root / "pending").is_dir():
+            raise FleetError(f"no serve queue at {self.root} "
+                             "(expected serve.jsonl or pending/)")
+        # Lazy import: runtime.serve itself imports repro.obs, so the
+        # obs package cannot import it at module load time.
+        from ..runtime.serve import JobQueue
+        self.queue = JobQueue(self.root, daemon_id="fleet-view")
+
+    # -- raw sources --------------------------------------------------------
+    def records(self) -> list[dict]:
+        """All intact ``serve.jsonl`` records (torn tail dropped)."""
+        if not self.queue.journal.exists():
+            return []
+        return self.queue.journal.read()
+
+    def daemons(self) -> list[dict]:
+        """Per-daemon health rows, liveness-checked, torn reads skipped."""
+        return self.queue.daemons()
+
+    def run_marks(self) -> list[dict]:
+        """Mark events from every job's metrics stream, normalised.
+
+        Marks are the run-level annotations worth surfacing on a fleet
+        timeline (degraded steps, drain interruptions); spans and
+        counters stay in the per-run streams where ``repro metrics``
+        and ``repro report`` already render them.
+        """
+        rows = []
+        for stream in sorted(
+                (self.root / "runs").glob(f"*/{METRICS_FILENAME}")):
+            try:
+                events, _ = read_events_report(stream)
+            except Exception:  # torn / vanished mid-read: skip the run
+                continue
+            job_id = stream.parent.name
+            for record in events:
+                if record.get("event") != "mark":
+                    continue
+                rows.append({"ts": float(record.get("t", 0.0)),
+                             "kind": f"mark:{record.get('name')}",
+                             "job": job_id,
+                             "daemon": record.get("origin"),
+                             "trace_id": record.get("trace_id"),
+                             "detail": _attr_detail(record.get("attrs"))})
+        return rows
+
+    # -- the merged timeline ------------------------------------------------
+    def events(self, include_runs: bool = True) -> list[dict]:
+        """The merged fleet timeline, sorted on the shared clock."""
+        rows = []
+        for record in self.records():
+            kind = record.get("record")
+            rows.append({"ts": float(record.get("ts", 0.0)),
+                         "kind": kind,
+                         "job": record.get("job"),
+                         "daemon": record.get("daemon"),
+                         "trace_id": record.get("trace_id"),
+                         "detail": _record_detail(record)})
+        if include_runs:
+            rows.extend(self.run_marks())
+        traces = self.trace_ids()
+        for row in rows:
+            if row["trace_id"] is None and row["job"] in traces:
+                row["trace_id"] = traces[row["job"]]
+        rows.sort(key=lambda row: row["ts"])
+        return rows
+
+    def trace_ids(self) -> dict[str, str]:
+        """job id -> trace id minted at submission."""
+        traces = {}
+        for record in self.records():
+            if record.get("record") == "job_submitted" \
+                    and record.get("trace_id"):
+                traces[record["job"]] = record["trace_id"]
+        return traces
+
+    # -- per-job join -------------------------------------------------------
+    def jobs(self) -> dict[str, dict]:
+        """Per-job lifecycle join: state, trace, attempts, latencies."""
+        states: dict[str, str] = {}
+        for state in ("pending", "active", "done", "failed", "quarantined"):
+            for job_id in self.queue._jobs(state):
+                states[job_id] = state
+        jobs: dict[str, dict] = {}
+        for record in self.records():
+            job_id = record.get("job")
+            if not job_id:
+                continue
+            info = jobs.setdefault(job_id, {
+                "job": job_id, "trace_id": None, "state": states.get(job_id),
+                "submitted_ts": None, "completed_ts": None, "claims": [],
+                "daemons": [], "queue_waits": [], "retries": 0,
+                "recoveries": 0, "drains": 0, "quarantined": False,
+                "pending_since": None, "result": None})
+            kind = record.get("record")
+            ts = float(record.get("ts", 0.0))
+            if kind == "job_submitted":
+                info["submitted_ts"] = ts
+                info["pending_since"] = ts
+                info["trace_id"] = record.get("trace_id")
+            elif kind == "job_claimed":
+                daemon = record.get("daemon")
+                info["claims"].append({"ts": ts, "daemon": daemon})
+                if daemon and daemon not in info["daemons"]:
+                    info["daemons"].append(daemon)
+                if info["pending_since"] is not None:
+                    info["queue_waits"].append(
+                        max(0.0, ts - info["pending_since"]))
+                    info["pending_since"] = None
+            elif kind == "job_complete":
+                info["completed_ts"] = ts
+                info["result"] = record.get("result")
+            elif kind == "job_retry":
+                info["retries"] += 1
+                info["pending_since"] = ts
+            elif kind == "job_recovered":
+                info["recoveries"] += 1
+                info["pending_since"] = ts
+            elif kind == "job_drained":
+                info["drains"] += 1
+                info["pending_since"] = ts
+            elif kind == "job_quarantined":
+                info["quarantined"] = True
+        for job_id, info in jobs.items():
+            info["attempts"] = len(info["claims"])
+            done = info["completed_ts"]
+            submitted = info["submitted_ts"]
+            info["latency_s"] = (done - submitted) \
+                if done is not None and submitted is not None else None
+            last_claim = info["claims"][-1]["ts"] if info["claims"] else None
+            info["wall_s"] = (done - last_claim) \
+                if done is not None and last_claim is not None else None
+            progress = self.queue._progress(job_id)
+            info["steps_done"] = progress.get("steps_done", 0)
+            info["degraded_steps"] = progress.get("degraded", 0)
+        return jobs
+
+    # -- gauges -------------------------------------------------------------
+    def gauges(self) -> dict:
+        """Fleet-level derived gauges from the joined sources."""
+        jobs = self.jobs()
+        counts = {state: len(self.queue._jobs(state))
+                  for state in ("pending", "active", "done", "failed",
+                                "quarantined")}
+        totals = {"submitted": 0, "claims": 0, "completions": 0,
+                  "retries": 0, "recoveries": 0, "drains": 0,
+                  "quarantines": 0, "lease_lost": 0, "breaker_opens": 0}
+        kind_to_total = {"job_submitted": "submitted",
+                         "job_claimed": "claims",
+                         "job_complete": "completions",
+                         "job_retry": "retries",
+                         "job_recovered": "recoveries",
+                         "job_drained": "drains",
+                         "job_quarantined": "quarantines",
+                         "job_lease_lost": "lease_lost",
+                         "breaker_open": "breaker_opens"}
+        for record in self.records():
+            key = kind_to_total.get(record.get("record"))
+            if key:
+                totals[key] += 1
+        daemons = self.daemons()
+        leases = list((self.root / "active").glob("job-*.lease"))
+        live_leases = 0
+        for path in leases:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    lease = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if self.queue.lease_live(lease):
+                live_leases += 1
+        queue_waits = [wait for info in jobs.values()
+                       for wait in info["queue_waits"]]
+        latencies = [info["latency_s"] for info in jobs.values()
+                     if info["latency_s"] is not None]
+        walls = [info["wall_s"] for info in jobs.values()
+                 if info["wall_s"] is not None]
+        return {
+            "queue_depth": counts["pending"],
+            "in_flight": counts["active"],
+            "states": counts,
+            "totals": totals,
+            "daemons_total": len(daemons),
+            "daemons_live": sum(1 for row in daemons if row.get("live")),
+            "leases": {"count": len(leases), "live": live_leases},
+            "claim_latency_s": _summary(queue_waits),
+            "job_latency_s": _summary(latencies),
+            "job_wall_s": _summary(walls),
+            "degraded_steps": sum(info["degraded_steps"]
+                                  for info in jobs.values()),
+        }
+
+    # -- SLO sample series --------------------------------------------------
+    def slo_samples(self) -> dict[str, list[tuple[float, float]]]:
+        """The ``(ts, value)`` series each SLO metric is evaluated over.
+
+        ``job_latency_seconds``: per completion, submit -> complete.
+        ``queue_wait_seconds``: per claim, entered-pending -> claimed.
+        ``failure_rate``: per settle, 1.0 for a retry/quarantine, 0.0
+        for a completion (the burn-rate evaluator averages these).
+        """
+        latency: list[tuple[float, float]] = []
+        queue_wait: list[tuple[float, float]] = []
+        failures: list[tuple[float, float]] = []
+        jobs = self.jobs()
+        for info in jobs.values():
+            if info["latency_s"] is not None:
+                latency.append((info["completed_ts"], info["latency_s"]))
+        pending_since: dict[str, float] = {}
+        for record in self.records():
+            kind = record.get("record")
+            job_id = record.get("job")
+            ts = float(record.get("ts", 0.0))
+            if kind in _PENDING_KINDS:
+                pending_since[job_id] = ts
+            elif kind == "job_claimed" and job_id in pending_since:
+                queue_wait.append(
+                    (ts, max(0.0, ts - pending_since.pop(job_id))))
+            if kind == "job_complete":
+                failures.append((ts, 0.0))
+            elif kind in ("job_retry", "job_quarantined"):
+                failures.append((ts, 1.0))
+        return {"job_latency_seconds": sorted(latency),
+                "queue_wait_seconds": sorted(queue_wait),
+                "failure_rate": sorted(failures)}
+
+    # -- one-call snapshot --------------------------------------------------
+    def snapshot(self, events_tail: int = 20) -> dict:
+        """Everything ``repro fleet status``/``export`` needs, one dict."""
+        events = self.events()
+        return {"root": str(self.root),
+                "gauges": self.gauges(),
+                "daemons": self.daemons(),
+                "jobs": self.jobs(),
+                "events_tail": events[-events_tail:],
+                "clock": {"first_ts": events[0]["ts"] if events else None,
+                          "last_ts": events[-1]["ts"] if events else None},
+                "history_problems": self.queue.history_problems()}
+
+
+# -- detail formatting -------------------------------------------------------
+def _attr_detail(attrs) -> str:
+    if not attrs:
+        return ""
+    return " ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+
+
+def _record_detail(record: dict) -> str:
+    kind = record.get("record")
+    if kind == "job_submitted":
+        spec = record.get("spec") or {}
+        return f"engine={spec.get('engine')} model={spec.get('model')}"
+    if kind == "job_complete":
+        result = record.get("result") or {}
+        acc = result.get("final_accuracy")
+        return f"accuracy={acc:.4f}" if isinstance(acc, float) else ""
+    if kind == "job_retry":
+        return (f"attempt={record.get('attempt')} "
+                f"{record.get('kind')}: {record.get('message', '')}"[:80])
+    if kind == "job_recovered":
+        return (f"attempt={record.get('attempt')} "
+                f"previous={record.get('previous')}")
+    if kind == "job_drained":
+        return (f"reason={record.get('reason')} "
+                f"steps_done={record.get('steps_done')}")
+    if kind == "job_quarantined":
+        return f"{record.get('kind')}: {record.get('message', '')}"[:80]
+    if kind == "breaker_open":
+        return (f"pause={record.get('pause_seconds', 0.0):.2f}s "
+                f"opens={record.get('opens')}")
+    return ""
+
+
+def _fmt_seconds(value) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.2f}s" if value >= 0.095 else f"{value * 1000:.0f}ms"
+
+
+def format_event(row: dict) -> str:
+    """One ``repro fleet tail`` line for a normalised timeline row."""
+    trace = row.get("trace_id") or "-"
+    return (f"{row['ts']:.3f} {row['kind']:<18} "
+            f"{row.get('job') or '-':<10} {row.get('daemon') or '-':<22} "
+            f"trace={trace} {row.get('detail') or ''}".rstrip())
+
+
+# -- swimlanes ---------------------------------------------------------------
+def daemon_swimlanes(events, width: int = 60) -> list[dict]:
+    """Per-daemon busy intervals rendered as fixed-width strips.
+
+    Each daemon's lane shows, across the fleet's full clock span, when
+    it owned a job (``█``), when it hit a breaker/quarantine (``!``)
+    and when it lost a lease (``x``); idle time is ``·``.  Character
+    strips render identically in Markdown code blocks, HTML ``<pre>``
+    and terminals, so one implementation serves all three surfaces.
+    """
+    stamped = [row for row in events if row["ts"] > 0.0]
+    if not stamped:
+        return []
+    t_min = min(row["ts"] for row in stamped)
+    t_max = max(row["ts"] for row in stamped)
+    span = max(t_max - t_min, 1e-9)
+
+    def column(ts: float) -> int:
+        return min(width - 1, int((ts - t_min) / span * width))
+
+    intervals: dict[str, list[tuple[float, float, str]]] = {}
+    open_claims: dict[tuple[str, str], float] = {}
+    points: dict[str, list[tuple[float, str]]] = {}
+    for row in stamped:
+        daemon = row.get("daemon")
+        job = row.get("job")
+        kind = row["kind"]
+        if not daemon:
+            continue
+        if kind == "job_claimed" and job:
+            open_claims[(daemon, job)] = row["ts"]
+        elif kind in _SETTLE_KINDS and job:
+            started = open_claims.pop((daemon, job), None)
+            if started is not None:
+                intervals.setdefault(daemon, []).append(
+                    (started, row["ts"], "run"))
+        if kind in ("breaker_open", "job_quarantined"):
+            points.setdefault(daemon, []).append((row["ts"], "!"))
+        elif kind == "job_lease_lost":
+            points.setdefault(daemon, []).append((row["ts"], "x"))
+    # A SIGKILLed daemon never settles: close its claim at the fleet's
+    # last clock tick so the takeover gap stays visible.
+    for (daemon, job), started in open_claims.items():
+        intervals.setdefault(daemon, []).append((started, t_max, "run"))
+    lanes = []
+    daemons = sorted(set(intervals) | set(points))
+    for daemon in daemons:
+        strip = ["·"] * width
+        for started, ended, _ in intervals.get(daemon, []):
+            for col in range(column(started), column(ended) + 1):
+                strip[col] = "█"
+        for ts, glyph in points.get(daemon, []):
+            strip[column(ts)] = glyph
+        lanes.append({"daemon": daemon, "strip": "".join(strip),
+                      "jobs": sorted({job for (d, job) in open_claims
+                                      if d == daemon})})
+    return lanes
+
+
+# -- rendering ---------------------------------------------------------------
+def render_status(snapshot: dict, slo_result: dict | None = None) -> str:
+    """Human-readable ``repro fleet status`` text."""
+    gauges = snapshot["gauges"]
+    lines = [f"fleet @ {snapshot['root']}"]
+    states = gauges["states"]
+    lines.append(
+        "  queue: " + "  ".join(f"{state}={states[state]}"
+                                for state in ("pending", "active", "done",
+                                              "failed", "quarantined")))
+    totals = gauges["totals"]
+    lines.append(
+        "  totals: " + "  ".join(f"{key}={totals[key]}"
+                                 for key in sorted(totals)))
+    lines.append(
+        f"  daemons: {gauges['daemons_live']}/{gauges['daemons_total']} "
+        f"live  leases: {gauges['leases']['live']}/"
+        f"{gauges['leases']['count']} live  degraded_steps="
+        f"{gauges['degraded_steps']}")
+    for label, key in (("claim latency", "claim_latency_s"),
+                       ("job latency", "job_latency_s"),
+                       ("job wall", "job_wall_s")):
+        summary = gauges[key]
+        lines.append(
+            f"  {label}: n={summary['count']} "
+            f"p50={_fmt_seconds(summary['p50'])} "
+            f"p99={_fmt_seconds(summary['p99'])} "
+            f"max={_fmt_seconds(summary['max'])}")
+    for row in snapshot["daemons"]:
+        state = row.get("state", "?")
+        live = "live" if row.get("live") else "gone"
+        jobs = row.get("jobs") or {}
+        lines.append(
+            f"  daemon {row.get('daemon')}: {state} ({live}) "
+            f"job={row.get('job') or '-'} done={jobs.get('done', 0)} "
+            f"retried={jobs.get('retried', 0)} "
+            f"drained={jobs.get('drained', 0)}")
+    if slo_result is not None:
+        lines.append("  slo: " + ("OK" if slo_result["ok"] else "BURNING"))
+        for objective in slo_result["objectives"]:
+            status = "burning" if objective["burning"] else "ok"
+            lines.append(
+                f"    {objective['name']} [{objective['metric']}]: "
+                f"{status} worst_burn={objective['worst_burn']:.2f}")
+    problems = snapshot.get("history_problems") or []
+    for problem in problems:
+        lines.append(f"  history problem: {problem}")
+    return "\n".join(lines)
+
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 70rem; color: #1a1a2e; }
+h1, h2 { border-bottom: 1px solid #ddd; padding-bottom: .3rem; }
+table { border-collapse: collapse; margin: 1rem 0; font-size: .9rem; }
+th, td { border: 1px solid #ccc; padding: .3rem .6rem; text-align: left; }
+th { background: #f0f0f5; }
+pre.lane { font-family: ui-monospace, monospace; font-size: .85rem;
+           background: #f7f7fb; padding: .6rem; overflow-x: auto; }
+.burning { color: #b00020; font-weight: 600; }
+.ok { color: #1b5e20; font-weight: 600; }
+"""
+
+
+def _fleet_sections(view: "FleetView",
+                    slo_result: dict | None = None) -> dict:
+    """The joined data the Markdown and HTML renderers share."""
+    snapshot = view.snapshot(events_tail=30)
+    events = view.events()
+    return {"snapshot": snapshot,
+            "events": events,
+            "lanes": daemon_swimlanes(events),
+            "slo": slo_result}
+
+
+def render_fleet_markdown(view: "FleetView",
+                          slo_result: dict | None = None) -> str:
+    """Self-contained Markdown fleet report."""
+    data = _fleet_sections(view, slo_result)
+    snapshot = data["snapshot"]
+    gauges = snapshot["gauges"]
+    out = [f"# Fleet report — `{snapshot['root']}`", ""]
+    out.append("## Gauges")
+    out.append("")
+    out.append("| gauge | value |")
+    out.append("|---|---|")
+    for state, count in gauges["states"].items():
+        out.append(f"| jobs {state} | {count} |")
+    for key, value in gauges["totals"].items():
+        out.append(f"| {key} | {value} |")
+    out.append(f"| daemons live | {gauges['daemons_live']}"
+               f"/{gauges['daemons_total']} |")
+    out.append(f"| degraded steps | {gauges['degraded_steps']} |")
+    for label, key in (("claim latency", "claim_latency_s"),
+                       ("job latency", "job_latency_s"),
+                       ("job wall", "job_wall_s")):
+        summary = gauges[key]
+        out.append(f"| {label} p50/p99 | {_fmt_seconds(summary['p50'])} / "
+                   f"{_fmt_seconds(summary['p99'])} |")
+    if data["slo"] is not None:
+        out.append("")
+        out.append("## SLO")
+        out.append("")
+        out.append("overall: **" + ("OK" if data["slo"]["ok"]
+                                    else "BURNING") + "**")
+        out.append("")
+        out.append("| objective | metric | status | worst burn | windows |")
+        out.append("|---|---|---|---|---|")
+        for objective in data["slo"]["objectives"]:
+            windows = ", ".join(
+                f"{w['seconds']:.0f}s: {w['burn_rate']:.2f}"
+                for w in objective["windows"])
+            out.append(
+                f"| {objective['name']} | {objective['metric']} | "
+                f"{'burning' if objective['burning'] else 'ok'} | "
+                f"{objective['worst_burn']:.2f} | {windows} |")
+    out.append("")
+    out.append("## Daemon swimlanes")
+    out.append("")
+    if data["lanes"]:
+        out.append("```")
+        for lane in data["lanes"]:
+            out.append(f"{lane['daemon']:<28} {lane['strip']}")
+        out.append("```")
+        out.append("")
+        out.append("`█` owning a job · `!` breaker/quarantine · "
+                   "`x` lease lost · `·` idle")
+    else:
+        out.append("*(no daemon activity journaled)*")
+    out.append("")
+    out.append("## Jobs")
+    out.append("")
+    out.append("| job | trace | state | attempts | daemons | steps "
+               "| queue wait | latency |")
+    out.append("|---|---|---|---|---|---|---|---|")
+    for job_id in sorted(snapshot["jobs"]):
+        info = snapshot["jobs"][job_id]
+        waits = info["queue_waits"]
+        out.append(
+            f"| {job_id} | `{info['trace_id'] or '-'}` | {info['state']} | "
+            f"{info['attempts']} | {', '.join(info['daemons']) or '-'} | "
+            f"{info['steps_done']} | "
+            f"{_fmt_seconds(max(waits) if waits else None)} | "
+            f"{_fmt_seconds(info['latency_s'])} |")
+    out.append("")
+    out.append("## Event tail")
+    out.append("")
+    out.append("```")
+    for row in snapshot["events_tail"]:
+        out.append(format_event(row))
+    out.append("```")
+    out.append("")
+    return "\n".join(out)
+
+
+def render_fleet_html(view: "FleetView",
+                      slo_result: dict | None = None) -> str:
+    """Self-contained HTML fleet report (no external assets)."""
+    data = _fleet_sections(view, slo_result)
+    snapshot = data["snapshot"]
+    gauges = snapshot["gauges"]
+    esc = _html.escape
+    parts = ["<!DOCTYPE html><html><head><meta charset='utf-8'>",
+             f"<title>Fleet report — {esc(snapshot['root'])}</title>",
+             f"<style>{_CSS}</style></head><body>",
+             f"<h1>Fleet report — <code>{esc(snapshot['root'])}</code></h1>"]
+    parts.append("<h2>Gauges</h2><table><tr><th>gauge</th><th>value</th>"
+                 "</tr>")
+    for state, count in gauges["states"].items():
+        parts.append(f"<tr><td>jobs {esc(state)}</td><td>{count}</td></tr>")
+    for key, value in gauges["totals"].items():
+        parts.append(f"<tr><td>{esc(key)}</td><td>{value}</td></tr>")
+    parts.append(f"<tr><td>daemons live</td><td>{gauges['daemons_live']}"
+                 f"/{gauges['daemons_total']}</td></tr>")
+    parts.append(f"<tr><td>degraded steps</td>"
+                 f"<td>{gauges['degraded_steps']}</td></tr>")
+    for label, key in (("claim latency", "claim_latency_s"),
+                       ("job latency", "job_latency_s"),
+                       ("job wall", "job_wall_s")):
+        summary = gauges[key]
+        parts.append(f"<tr><td>{label} p50 / p99</td>"
+                     f"<td>{_fmt_seconds(summary['p50'])} / "
+                     f"{_fmt_seconds(summary['p99'])}</td></tr>")
+    parts.append("</table>")
+    if data["slo"] is not None:
+        ok = data["slo"]["ok"]
+        parts.append("<h2>SLO</h2>")
+        parts.append(f"<p>overall: <span class='{'ok' if ok else 'burning'}'"
+                     f">{'OK' if ok else 'BURNING'}</span></p>")
+        parts.append("<table><tr><th>objective</th><th>metric</th>"
+                     "<th>status</th><th>worst burn</th><th>windows</th>"
+                     "</tr>")
+        for objective in data["slo"]["objectives"]:
+            windows = ", ".join(
+                f"{w['seconds']:.0f}s: {w['burn_rate']:.2f}"
+                for w in objective["windows"])
+            cls = "burning" if objective["burning"] else "ok"
+            parts.append(
+                f"<tr><td>{esc(objective['name'])}</td>"
+                f"<td>{esc(objective['metric'])}</td>"
+                f"<td class='{cls}'>"
+                f"{'burning' if objective['burning'] else 'ok'}</td>"
+                f"<td>{objective['worst_burn']:.2f}</td>"
+                f"<td>{esc(windows)}</td></tr>")
+        parts.append("</table>")
+    parts.append("<h2>Daemon swimlanes</h2>")
+    if data["lanes"]:
+        lane_text = "\n".join(f"{lane['daemon']:<28} {lane['strip']}"
+                              for lane in data["lanes"])
+        parts.append(f"<pre class='lane'>{esc(lane_text)}</pre>")
+        parts.append("<p><code>█</code> owning a job · <code>!</code> "
+                     "breaker/quarantine · <code>x</code> lease lost · "
+                     "<code>·</code> idle</p>")
+    else:
+        parts.append("<p><em>no daemon activity journaled</em></p>")
+    parts.append("<h2>Jobs</h2><table><tr><th>job</th><th>trace</th>"
+                 "<th>state</th><th>attempts</th><th>daemons</th>"
+                 "<th>steps</th><th>queue wait</th><th>latency</th></tr>")
+    for job_id in sorted(snapshot["jobs"]):
+        info = snapshot["jobs"][job_id]
+        waits = info["queue_waits"]
+        parts.append(
+            f"<tr><td>{esc(job_id)}</td>"
+            f"<td><code>{esc(info['trace_id'] or '-')}</code></td>"
+            f"<td>{esc(str(info['state']))}</td><td>{info['attempts']}</td>"
+            f"<td>{esc(', '.join(info['daemons']) or '-')}</td>"
+            f"<td>{info['steps_done']}</td>"
+            f"<td>{_fmt_seconds(max(waits) if waits else None)}</td>"
+            f"<td>{_fmt_seconds(info['latency_s'])}</td></tr>")
+    parts.append("</table>")
+    parts.append("<h2>Event tail</h2>")
+    tail = "\n".join(format_event(row) for row in snapshot["events_tail"])
+    parts.append(f"<pre class='lane'>{esc(tail)}</pre>")
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_fleet_report(root: str | Path, out_path: str | Path,
+                       fmt: str = "html",
+                       slo_result: dict | None = None) -> Path:
+    """Render and write a fleet report; returns the output path."""
+    view = FleetView(root)
+    if fmt == "md":
+        text = render_fleet_markdown(view, slo_result)
+    else:
+        text = render_fleet_html(view, slo_result)
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(text, encoding="utf-8")
+    return out_path

@@ -1,0 +1,301 @@
+"""Prometheus text-exposition export of a fleet snapshot.
+
+:func:`render_prometheus` turns a :meth:`FleetView.snapshot` (plus an
+optional SLO evaluation) into the Prometheus text format (version
+0.0.4) so a serve fleet can be scraped by standard tooling — every
+metric is prefixed ``repro_fleet_``:
+
+======================================  ======= ============================
+metric                                  type    meaning
+======================================  ======= ============================
+``repro_fleet_jobs``                    gauge   per-state job counts
+                                                (``state`` label)
+``repro_fleet_daemons``                 gauge   daemon counts (``live``
+                                                label: yes/no)
+``repro_fleet_leases``                  gauge   lease counts (``live``
+                                                label: yes/no)
+``repro_fleet_jobs_submitted_total``    counter journaled submissions
+``repro_fleet_jobs_completed_total``    counter journaled completions
+``repro_fleet_jobs_retried_total``      counter journaled retries
+``repro_fleet_jobs_recovered_total``    counter crash recoveries
+``repro_fleet_jobs_drained_total``      counter drain requeues
+``repro_fleet_jobs_quarantined_total``  counter poison-job quarantines
+``repro_fleet_lease_lost_total``        counter lease takeovers noticed
+``repro_fleet_breaker_opens_total``     counter circuit-breaker trips
+``repro_fleet_degraded_steps_total``    counter degraded run steps
+``repro_fleet_claim_latency_seconds``   summary pending -> claimed
+``repro_fleet_job_latency_seconds``     summary submitted -> completed
+``repro_fleet_job_wall_seconds``        summary last claim -> completed
+``repro_fleet_slo_burn_rate``           gauge   per objective+window
+``repro_fleet_slo_burning``             gauge   1 when an objective burns
+======================================  ======= ============================
+
+:func:`validate_prometheus` checks a rendered page against the text-
+format grammar (metric/label name charsets, label value escaping,
+float-or-Inf-or-NaN values, HELP/TYPE placement and uniqueness, family
+resolution of ``_sum``/``_count``/``_bucket`` samples) so CI can gate
+on the export staying scrapable.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+__all__ = ["PROM_PREFIX", "render_prometheus", "write_prometheus",
+           "validate_prometheus"]
+
+PROM_PREFIX = "repro_fleet"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$")
+_LABEL_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+_VALUE_RE = re.compile(
+    r"^(?:[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?|\+Inf|-Inf|NaN)$")
+
+
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+class _Page:
+    """Accumulates families + samples in exposition order."""
+
+    def __init__(self):
+        self.lines: list[str] = []
+
+    def family(self, name: str, kind: str, help_text: str) -> None:
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name: str, value, labels: dict | None = None) -> None:
+        if labels:
+            body = ",".join(f'{key}="{_escape(val)}"'
+                            for key, val in labels.items())
+            self.lines.append(f"{name}{{{body}}} {_fmt(value)}")
+        else:
+            self.lines.append(f"{name} {_fmt(value)}")
+
+    def summary(self, name: str, help_text: str, stats: dict) -> None:
+        """A two-quantile summary family from a fleet _summary dict."""
+        self.family(name, "summary", help_text)
+        self.sample(name, stats.get("p50"), {"quantile": "0.5"})
+        self.sample(name, stats.get("p99"), {"quantile": "0.99"})
+        self.sample(f"{name}_sum", stats.get("sum", 0.0))
+        self.sample(f"{name}_count", stats.get("count", 0))
+
+    def render(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def render_prometheus(snapshot: dict, slo_result: dict | None = None) -> str:
+    """The fleet snapshot as a Prometheus text-format page."""
+    gauges = snapshot["gauges"]
+    page = _Page()
+    page.family(f"{PROM_PREFIX}_jobs", "gauge",
+                "Jobs currently in each queue state.")
+    for state, count in gauges["states"].items():
+        page.sample(f"{PROM_PREFIX}_jobs", count, {"state": state})
+    page.family(f"{PROM_PREFIX}_daemons", "gauge",
+                "Daemons with a health record, split by liveness.")
+    live = gauges["daemons_live"]
+    page.sample(f"{PROM_PREFIX}_daemons", live, {"live": "yes"})
+    page.sample(f"{PROM_PREFIX}_daemons",
+                gauges["daemons_total"] - live, {"live": "no"})
+    page.family(f"{PROM_PREFIX}_leases", "gauge",
+                "Active-job lease files, split by liveness.")
+    page.sample(f"{PROM_PREFIX}_leases", gauges["leases"]["live"],
+                {"live": "yes"})
+    page.sample(f"{PROM_PREFIX}_leases",
+                gauges["leases"]["count"] - gauges["leases"]["live"],
+                {"live": "no"})
+    totals = gauges["totals"]
+    for key, metric, help_text in (
+            ("submitted", "jobs_submitted_total", "Jobs submitted."),
+            ("completions", "jobs_completed_total", "Jobs completed."),
+            ("retries", "jobs_retried_total", "Failed runs requeued."),
+            ("recoveries", "jobs_recovered_total",
+             "Jobs requeued from dead daemons."),
+            ("drains", "jobs_drained_total",
+             "Jobs requeued by graceful drain."),
+            ("quarantines", "jobs_quarantined_total",
+             "Poison jobs quarantined."),
+            ("lease_lost", "lease_lost_total",
+             "Lease takeovers noticed by the displaced owner."),
+            ("breaker_opens", "breaker_opens_total",
+             "Circuit-breaker trips.")):
+        name = f"{PROM_PREFIX}_{metric}"
+        page.family(name, "counter", help_text)
+        page.sample(name, totals[key])
+    name = f"{PROM_PREFIX}_degraded_steps_total"
+    page.family(name, "counter",
+                "Run steps completed by a fallback engine.")
+    page.sample(name, gauges["degraded_steps"])
+    page.summary(f"{PROM_PREFIX}_claim_latency_seconds",
+                 "Seconds from entering pending to being claimed.",
+                 gauges["claim_latency_s"])
+    page.summary(f"{PROM_PREFIX}_job_latency_seconds",
+                 "Seconds from submission to completion.",
+                 gauges["job_latency_s"])
+    page.summary(f"{PROM_PREFIX}_job_wall_seconds",
+                 "Seconds from the final claim to completion.",
+                 gauges["job_wall_s"])
+    if slo_result is not None:
+        burn = f"{PROM_PREFIX}_slo_burn_rate"
+        page.family(burn, "gauge",
+                    "Error-budget burn rate per objective and window.")
+        for objective in slo_result["objectives"]:
+            for window in objective["windows"]:
+                page.sample(burn, window["burn_rate"],
+                            {"objective": objective["name"],
+                             "window": f"{window['seconds']:.0f}"})
+        burning = f"{PROM_PREFIX}_slo_burning"
+        page.family(burning, "gauge",
+                    "1 when an objective burns in every window.")
+        for objective in slo_result["objectives"]:
+            page.sample(burning, 1 if objective["burning"] else 0,
+                        {"objective": objective["name"]})
+    return page.render()
+
+
+def write_prometheus(snapshot: dict, out_path: str | Path,
+                     slo_result: dict | None = None) -> str:
+    """Render, schema-validate and write the exposition page."""
+    text = render_prometheus(snapshot, slo_result)
+    problems = validate_prometheus(text)
+    if problems:  # pragma: no cover - renderer/validator must agree
+        raise ValueError("invalid Prometheus export: "
+                         + "; ".join(problems))
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(text, encoding="utf-8")
+    return text
+
+
+def _family_of(sample_name: str) -> list[str]:
+    """Family names a sample line may belong to (itself + base names)."""
+    names = [sample_name]
+    for suffix in ("_sum", "_count", "_bucket", "_total"):
+        if sample_name.endswith(suffix):
+            names.append(sample_name[: -len(suffix)])
+    return names
+
+
+def validate_prometheus(text: str) -> list[str]:
+    """Grammar problems with a text-exposition page (empty when valid).
+
+    Checks each line against the 0.0.4 text format: ``# HELP`` /
+    ``# TYPE`` comment syntax and placement (TYPE at most once per
+    family, before that family's samples), metric and label name
+    charsets, quoted-and-escaped label values, values that parse as
+    float / ``+Inf`` / ``-Inf`` / ``NaN``, optional integer timestamps,
+    and that ``_sum``/``_count``/``_bucket`` samples resolve to a
+    declared summary/histogram family.
+    """
+    problems: list[str] = []
+    typed: dict[str, str] = {}
+    helped: set[str] = set()
+    sampled: set[str] = set()
+    for number, line in enumerate(text.split("\n"), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                if parts[1:2] and parts[1] in ("HELP", "TYPE"):
+                    problems.append(f"line {number}: malformed {parts[1]}")
+                continue  # free-form comments are legal
+            keyword, name = parts[1], parts[2]
+            if not _NAME_RE.match(name):
+                problems.append(
+                    f"line {number}: bad metric name {name!r} in {keyword}")
+                continue
+            if keyword == "HELP":
+                if name in helped:
+                    problems.append(
+                        f"line {number}: duplicate HELP for {name}")
+                helped.add(name)
+            else:
+                kind = parts[3] if len(parts) > 3 else ""
+                if kind not in ("counter", "gauge", "histogram", "summary",
+                                "untyped"):
+                    problems.append(
+                        f"line {number}: unknown TYPE {kind!r} for {name}")
+                if name in typed:
+                    problems.append(
+                        f"line {number}: duplicate TYPE for {name}")
+                if name in sampled:
+                    problems.append(
+                        f"line {number}: TYPE for {name} after its samples")
+                typed[name] = kind
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {number}: unparsable sample {line!r}")
+            continue
+        name = match.group("name")
+        for family in _family_of(name):
+            sampled.add(family)
+        if not any(family in typed for family in _family_of(name)):
+            problems.append(
+                f"line {number}: sample {name} has no TYPE declaration")
+        labels = match.group("labels")
+        if labels is not None and labels != "":
+            for part in _split_labels(labels):
+                label_match = _LABEL_RE.match(part)
+                if label_match is None:
+                    problems.append(
+                        f"line {number}: bad label pair {part!r}")
+                elif not _LABEL_NAME_RE.match(label_match.group("name")):
+                    problems.append(
+                        f"line {number}: bad label name "
+                        f"{label_match.group('name')!r}")
+        if not _VALUE_RE.match(match.group("value")):
+            problems.append(
+                f"line {number}: bad sample value {match.group('value')!r}")
+    return problems
+
+
+def _split_labels(body: str) -> list[str]:
+    """Split a label body on commas outside quoted values."""
+    parts = []
+    current = []
+    in_quotes = False
+    escaped = False
+    for char in body:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current:
+        parts.append("".join(current))
+    return parts

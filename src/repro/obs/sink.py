@@ -91,8 +91,14 @@ def read_events_report(path: str | Path) -> tuple[list[dict], bool]:
     if not path.exists():
         raise MetricsError(f"no metrics stream at {path}")
     records: list[dict] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        lines = handle.read().split("\n")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().split("\n")
+    except OSError as error:
+        # e.g. the stream path is a directory, or permissions are wrong:
+        # surface a typed one-liner, not an IsADirectoryError traceback.
+        raise MetricsError(
+            f"unreadable metrics stream at {path}: {error}") from None
     for index, line in enumerate(lines):
         if not line.strip():
             continue

@@ -1,0 +1,203 @@
+"""Declarative SLOs with multi-window burn-rate evaluation.
+
+An ``slo.json`` next to (or pointed at alongside) a serve queue
+declares objectives over the fleet timeline::
+
+    {
+      "objectives": [
+        {"name": "job-latency",
+         "metric": "job_latency_seconds",
+         "threshold_seconds": 120.0,
+         "budget": 0.05,
+         "windows_seconds": [300, 3600]},
+        {"name": "failures",
+         "metric": "failure_rate",
+         "budget": 0.10}
+      ]
+    }
+
+Metrics come from :meth:`repro.obs.fleet.FleetView.slo_samples`:
+
+* ``job_latency_seconds`` — submit -> complete, one sample per
+  completion; a sample is *bad* when it exceeds ``threshold_seconds``.
+* ``queue_wait_seconds``  — entered-pending -> claimed, one sample per
+  claim; bad when over ``threshold_seconds``.
+* ``failure_rate``        — one sample per settle, 1.0 for a retry or
+  quarantine, 0.0 for a completion; every 1.0 is bad (no threshold).
+
+``budget`` is the error budget: the fraction of bad samples the
+objective tolerates.  For each sliding window ``w`` ending at *now*,
+the **burn rate** is ``bad_fraction(w) / budget`` — 1.0 means burning
+budget exactly as fast as allowed, 2.0 twice as fast.  Following the
+multi-window alerting pattern, an objective is **burning** only when
+*every* configured window burns at >= 1.0: the short window proves the
+problem is happening now, the long window proves it is significant,
+and a window with no samples burns at 0 (vacuously healthy).
+
+*now* defaults to the newest sample timestamp, so evaluating a
+finished scenario is deterministic no matter when the check runs —
+which is what lets ``repro fleet slo --check`` gate CI with a stable
+0/1 exit code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["SLO_METRICS", "SLOError", "SLO_FILENAME", "load_slo",
+           "evaluate_slo", "render_slo"]
+
+#: Default objective file name inside a queue root.
+SLO_FILENAME = "slo.json"
+
+#: metric name -> whether it needs a ``threshold_seconds``.
+SLO_METRICS = {"job_latency_seconds": True,
+               "queue_wait_seconds": True,
+               "failure_rate": False}
+
+#: Default sliding windows (seconds): fast confirmation + significance.
+DEFAULT_WINDOWS = (300.0, 3600.0)
+
+
+class SLOError(RuntimeError):
+    """The SLO file is missing, unparsable, or declares bad objectives."""
+
+
+def load_slo(path: str | Path) -> dict:
+    """Load and validate an ``slo.json``; raises :class:`SLOError`."""
+    path = Path(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise SLOError(f"no SLO file at {path}") from None
+    except (OSError, ValueError) as error:
+        raise SLOError(f"unreadable SLO file {path}: {error}") from None
+    if not isinstance(payload, dict) \
+            or not isinstance(payload.get("objectives"), list):
+        raise SLOError(f"{path}: expected {{\"objectives\": [...]}}")
+    problems: list[str] = []
+    seen: set[str] = set()
+    objectives = []
+    for index, raw in enumerate(payload["objectives"]):
+        where = f"objectives[{index}]"
+        if not isinstance(raw, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        name = raw.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing string name")
+            name = f"objective-{index}"
+        if name in seen:
+            problems.append(f"{where}: duplicate name {name!r}")
+        seen.add(name)
+        metric = raw.get("metric")
+        if metric not in SLO_METRICS:
+            problems.append(
+                f"{where}: unknown metric {metric!r} (expected one of "
+                + ", ".join(sorted(SLO_METRICS)) + ")")
+            continue
+        budget = raw.get("budget")
+        if isinstance(budget, bool) \
+                or not isinstance(budget, (int, float)) \
+                or not 0.0 < float(budget) <= 1.0:
+            problems.append(f"{where}: budget must be a number in (0, 1], "
+                            f"got {budget!r}")
+            continue
+        threshold = raw.get("threshold_seconds")
+        if SLO_METRICS[metric]:
+            if isinstance(threshold, bool) \
+                    or not isinstance(threshold, (int, float)) \
+                    or float(threshold) < 0.0:
+                problems.append(
+                    f"{where}: metric {metric} needs a non-negative "
+                    f"threshold_seconds, got {threshold!r}")
+                continue
+        elif threshold is not None:
+            problems.append(
+                f"{where}: metric {metric} takes no threshold_seconds")
+            continue
+        windows = raw.get("windows_seconds", list(DEFAULT_WINDOWS))
+        if not isinstance(windows, list) or not windows or any(
+                isinstance(w, bool) or not isinstance(w, (int, float))
+                or float(w) <= 0.0 for w in windows):
+            problems.append(f"{where}: windows_seconds must be a non-empty "
+                            f"list of positive numbers, got {windows!r}")
+            continue
+        unknown = sorted(set(raw) - {"name", "metric", "budget",
+                                     "threshold_seconds",
+                                     "windows_seconds"})
+        if unknown:
+            problems.append(f"{where}: unknown field(s) "
+                            + ", ".join(repr(k) for k in unknown))
+            continue
+        objectives.append({"name": name, "metric": metric,
+                           "budget": float(budget),
+                           "threshold_seconds": None if threshold is None
+                           else float(threshold),
+                           "windows_seconds": [float(w) for w in windows]})
+    if problems:
+        raise SLOError(f"invalid SLO file {path}: " + "; ".join(problems))
+    if not objectives:
+        raise SLOError(f"{path}: no objectives declared")
+    return {"objectives": objectives}
+
+
+def evaluate_slo(slo: dict, samples: dict, now: float | None = None) -> dict:
+    """Burn rates for every objective against the fleet's sample series.
+
+    ``samples`` is :meth:`FleetView.slo_samples` output (metric ->
+    sorted ``(ts, value)`` list).  ``now`` anchors the sliding windows;
+    it defaults to the newest sample timestamp across all metrics so a
+    finished scenario evaluates identically whenever the check runs.
+    """
+    if now is None:
+        stamps = [ts for series in samples.values() for ts, _ in series]
+        now = max(stamps) if stamps else 0.0
+    results = []
+    for objective in slo["objectives"]:
+        series = samples.get(objective["metric"], [])
+        threshold = objective["threshold_seconds"]
+        budget = objective["budget"]
+        windows = []
+        for seconds in objective["windows_seconds"]:
+            in_window = [(ts, value) for ts, value in series
+                         if now - seconds < ts <= now]
+            if threshold is None:
+                bad = sum(1 for _, value in in_window if value > 0.0)
+            else:
+                bad = sum(1 for _, value in in_window if value > threshold)
+            fraction = bad / len(in_window) if in_window else 0.0
+            windows.append({"seconds": seconds,
+                            "samples": len(in_window),
+                            "bad": bad,
+                            "bad_fraction": fraction,
+                            "burn_rate": fraction / budget})
+        burning = bool(windows) and all(
+            w["burn_rate"] >= 1.0 and w["samples"] > 0 for w in windows)
+        results.append({"name": objective["name"],
+                        "metric": objective["metric"],
+                        "budget": budget,
+                        "threshold_seconds": threshold,
+                        "windows": windows,
+                        "worst_burn": max(w["burn_rate"] for w in windows),
+                        "burning": burning})
+    return {"now": now,
+            "objectives": results,
+            "ok": not any(o["burning"] for o in results)}
+
+
+def render_slo(result: dict) -> str:
+    """Human-readable ``repro fleet slo`` output."""
+    lines = ["slo: " + ("OK" if result["ok"] else "BURNING")]
+    for objective in result["objectives"]:
+        status = "burning" if objective["burning"] else "ok"
+        lines.append(f"  {objective['name']} [{objective['metric']}] "
+                     f"budget={objective['budget']:.2%}: {status}")
+        for window in objective["windows"]:
+            lines.append(
+                f"    window {window['seconds']:.0f}s: "
+                f"{window['bad']}/{window['samples']} bad "
+                f"(burn {window['burn_rate']:.2f})")
+    return "\n".join(lines)

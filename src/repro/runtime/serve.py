@@ -75,6 +75,7 @@ import signal
 import socket
 import threading
 import time
+import uuid
 import zlib
 from pathlib import Path
 
@@ -442,15 +443,29 @@ class JobQueue:
                 continue
             entry = history.setdefault(
                 job_id, {"claims": 0, "failures": 0, "records": [],
-                         "daemon": None})
+                         "daemon": None, "trace": None})
             kind = record.get("record")
             entry["records"].append(kind)
-            if kind == "job_claimed":
+            if kind == "job_submitted":
+                entry["trace"] = record.get("trace_id")
+            elif kind == "job_claimed":
                 entry["claims"] += 1
                 entry["daemon"] = record.get("daemon")
             elif kind in ("job_retry", "job_recovered"):
                 entry["failures"] += 1
         return history
+
+    def trace_id_for(self, job_id: str) -> str | None:
+        """The causal trace id minted at submit time, or ``None``.
+
+        Every daemon that ever claims the job — the original owner, a
+        lease takeover after a SIGKILL, a drain requeue — reads the
+        *same* id from the ``job_submitted`` record, which is what
+        stitches a job's spans across daemon incarnations into one
+        causal timeline.
+        """
+        entry = self._job_history().get(job_id)
+        return entry["trace"] if entry else None
 
     def failures(self, job_id: str) -> int:
         """Burned attempts so far: journaled retries + crash recoveries."""
@@ -515,12 +530,20 @@ class JobQueue:
         return f"job-{highest + 1:04d}"
 
     def submit(self, spec: dict) -> str:
-        """Validate and enqueue one job spec; returns its id."""
+        """Validate and enqueue one job spec; returns its id.
+
+        Mints the job's ``trace_id`` here — identity is assigned once,
+        at the submission boundary, so every later claimant (including
+        a takeover after the first owner is SIGKILLed) correlates its
+        telemetry under the same id.
+        """
         spec = _resolve_spec(spec)
         job_id = self._next_id()
+        trace_id = f"{job_id}.{uuid.uuid4().hex[:12]}"
         _atomic_json(self._state_dir("pending") / f"{job_id}.json", spec)
         self.journal.append({"record": "job_submitted", "job": job_id,
-                             "spec": spec, "ts": time.time()})
+                             "spec": spec, "trace_id": trace_id,
+                             "ts": time.time()})
         return job_id
 
     # -- lifecycle ----------------------------------------------------------
@@ -550,6 +573,17 @@ class JobQueue:
             except FileNotFoundError:
                 self.release_lease(job_id)
                 continue  # recovered away mid-claim; no longer ours
+            except ValueError as error:
+                # Spec unreadable (torn by something outside the atomic
+                # write path): journal the claim so the failure is a
+                # legal transition, then route it through the normal
+                # retry/quarantine path instead of crashing the daemon.
+                self.journal.append({"record": "job_claimed",
+                                     "job": job_id,
+                                     "daemon": self.daemon_id,
+                                     "ts": time.time()})
+                self.fail(job_id, error)
+                continue
             self.journal.append({"record": "job_claimed", "job": job_id,
                                  "daemon": self.daemon_id,
                                  "ts": time.time()})
@@ -1095,13 +1129,30 @@ class ServeDaemon:
         self._lease_lost = False
         self._current = job_id
         self._write_health()
-        recorder = Recorder(run_dir)
+        recorder = Recorder(run_dir, trace_id=self.queue.trace_id_for(job_id),
+                            origin=self.daemon_id)
         try:
             try:
-                with use_recorder(recorder):
-                    runner = build_job_runner(spec, workers=self.workers,
-                                              stop_check=self._stop_check)
-                    report = runner.run(run_dir, resume=True)
+                try:
+                    with use_recorder(recorder):
+                        runner = build_job_runner(
+                            spec, workers=self.workers,
+                            stop_check=self._stop_check)
+                        report = runner.run(run_dir, resume=True)
+                except RunInterrupted as interruption:
+                    # The final drain/lease-lost telemetry must land in
+                    # the job's own (trace-stamped) stream and be flushed
+                    # to disk *before* the job is requeued: a daemon
+                    # killed right after handing the job back must not
+                    # lose the record of why it let go.
+                    recorder.mark("serve/interrupted", operational=True,
+                                  reason=interruption.reason,
+                                  steps_done=interruption.steps_done)
+                    if interruption.reason != "lease-lost":
+                        recorder.counter("serve/jobs_drained", 1,
+                                         operational=True)
+                    recorder.flush()
+                    raise
             finally:
                 recorder.close()
         except SimulatedCrash:
@@ -1112,8 +1163,6 @@ class ServeDaemon:
                 self.queue.abandon_lost(job_id)
                 return "lease-lost"
             self.queue.requeue_drained(job_id, interruption)
-            get_recorder().counter("serve/jobs_drained", 1,
-                                   operational=True)
             return "drained"
         except Exception as error:  # job isolation: one bad spec can't
             self._detach()
